@@ -1,0 +1,82 @@
+"""E9 — Section 4.2: the five mobile-offset algorithms, head to head.
+
+Paper claims (qualitative): unrolling is exact but impractically large;
+fixed partitioning (m=3) is the recommended compromise; tracking and
+refinement sit between; state-space search improves a 1-subrange seed.
+Regenerates: cost ratio vs exact, LP variables, subranges, and solve
+time for each algorithm on the wavefront workload.
+"""
+
+import time
+
+from repro.adg import build_adg
+from repro.align import solve_axis_stride
+from repro.align.offset_mobile import (
+    fixed_partitioning,
+    recursive_refinement,
+    state_space_search,
+    tracking_zero_crossings,
+    unrolling,
+)
+from repro.lang import programs
+from repro.machine import format_table
+
+
+def _prepare():
+    adg = build_adg(programs.skewed_wavefront(n=48))
+    skel = solve_axis_stride(adg).skeletons
+    return adg, skel
+
+
+def _run_all(adg, skel):
+    out = []
+    for label, fn, kw in [
+        ("unrolling", unrolling, {}),
+        ("state-space", state_space_search, {}),
+        ("zero-crossing", tracking_zero_crossings, {}),
+        ("recursive-refine", recursive_refinement, {}),
+        ("fixed m=3", fixed_partitioning, {"m": 3}),
+        ("fixed m=5", fixed_partitioning, {"m": 5}),
+    ]:
+        t0 = time.perf_counter()
+        res = fn(adg, skel, **kw)
+        out.append((label, res, time.perf_counter() - t0))
+    return out
+
+
+def test_algorithm_menu(benchmark, report):
+    adg, skel = _prepare()
+    runs = benchmark.pedantic(_run_all, args=(adg, skel), rounds=1, iterations=1)
+    exact = runs[0][1]
+    rows = []
+    for label, res, dt in runs:
+        rows.append(
+            (
+                label,
+                str(res.cost),
+                f"{float(res.cost / exact.cost):.4f}",
+                res.lp_vars_total,
+                res.subranges_total,
+                res.iterations,
+                f"{dt*1e3:.0f}ms",
+            )
+        )
+    report.table(
+        format_table(
+            ["algorithm", "cost", "ratio", "LP vars", "subranges", "iters", "time"],
+            rows,
+            title="E9 / Section 4.2: the five algorithms (wavefront, 48 iters)",
+        )
+    )
+    by_label = {label: res for label, res, _ in runs}
+    # Shapes: exact is the floor; unrolling's LP dwarfs the others.  The
+    # 1 + 2/m^2 guarantee is an LP-level bound; integer rounding (the R
+    # of RLP, which the paper notes "is not necessarily optimal") can
+    # exceed it on multi-span workloads like this one, so we assert a
+    # looser operational factor here and the strict bound on figure1 in
+    # bench_fig3_error_bound.
+    for label, res, _ in runs[1:]:
+        assert res.cost >= exact.cost
+    assert float(by_label["fixed m=3"].cost / exact.cost) <= 2.5
+    assert float(by_label["fixed m=5"].cost / exact.cost) <= 2.5
+    assert by_label["unrolling"].lp_vars_total > 3 * by_label["fixed m=3"].lp_vars_total

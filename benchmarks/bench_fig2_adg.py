@@ -1,0 +1,44 @@
+"""E2 — Figure 2: the ADG of the Figure 1 fragment.
+
+Paper claim (structural): the ADG contains source/sink anchors, two
+Section nodes, a '+' node, a SectionAssign, merge/fanout/branch nodes,
+and five transformer nodes (entry x2, loop-back x2, exit x1).
+Regenerates: the node inventory and edge count of Figure 2.
+"""
+
+from collections import Counter
+
+from repro.adg import NodeKind, build_adg
+from repro.adg.nodes import TransformerPayload
+from repro.lang import programs
+from repro.machine import format_table
+
+
+def _build():
+    return build_adg(programs.figure1())
+
+
+def test_fig2_adg_inventory(benchmark, report):
+    adg = benchmark(_build)
+    kinds = Counter(n.kind for n in adg.nodes)
+    transformer_kinds = Counter(
+        n.payload.kind
+        for n in adg.nodes
+        if n.kind is NodeKind.TRANSFORMER and isinstance(n.payload, TransformerPayload)
+    )
+    rows = [(k.name, v) for k, v in sorted(kinds.items(), key=lambda p: p[0].name)]
+    rows.append(("edges", len(adg.edges)))
+    report.table(
+        format_table(
+            ["node kind", "count"],
+            rows,
+            title="E2 / Figure 2: ADG inventory for the Figure 1 fragment",
+        )
+    )
+    assert kinds[NodeKind.SECTION] == 2
+    assert kinds[NodeKind.SECTION_ASSIGN] == 1
+    assert kinds[NodeKind.ELEMENTWISE] == 1
+    assert kinds[NodeKind.MERGE] == 2
+    assert kinds[NodeKind.BRANCH] == 1
+    assert transformer_kinds == {"entry": 2, "loop_back": 2, "exit": 1}
+    adg.validate()

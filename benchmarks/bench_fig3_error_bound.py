@@ -1,0 +1,62 @@
+"""E3 — Figure 3 + Section 4.2: subrange approximation error vs m.
+
+Paper claims:
+* with no zero crossing the closed form is exact (Figure 3(a));
+* with one subrange a crossing makes the approximation arbitrarily bad
+  (Figure 3(b));
+* fixed m-way partitioning is within a factor 1 + 2/m^2 of optimal —
+  22% for m = 3, 8% for m = 5; at most one subrange has a crossing.
+
+Regenerates: measured worst-case cost ratio vs m on the Figure 1
+wavefront (whose spans cross zero), against the analytic bound.
+"""
+
+from repro.adg import build_adg
+from repro.align import solve_axis_stride
+from repro.align.offset_mobile import fixed_partitioning, unrolling
+from repro.lang import programs
+from repro.machine import format_table
+
+MS = [1, 2, 3, 5, 10]
+
+
+def _sweep():
+    adg = build_adg(programs.figure1(n=40))
+    skel = solve_axis_stride(adg).skeletons
+    exact = unrolling(adg, skel)
+    results = {}
+    for m in MS:
+        results[m] = fixed_partitioning(adg, skel, m=m)
+    return exact, results
+
+
+def test_fig3_error_vs_m(benchmark, report):
+    exact, results = benchmark(_sweep)
+    rows = []
+    for m in MS:
+        ratio = float(results[m].cost / exact.cost)
+        bound = 1 + 2 / (m * m)
+        rows.append(
+            (
+                m,
+                str(results[m].cost),
+                f"{ratio:.4f}",
+                f"{bound:.4f}",
+                "yes" if ratio <= bound + 1e-9 else "no (m<3: unclaimed)",
+            )
+        )
+    rows.append(("exact", str(exact.cost), "1.0000", "-", "-"))
+    report.table(
+        format_table(
+            ["m", "cost", "measured ratio", "1+2/m^2 bound", "within bound"],
+            rows,
+            title="E3 / Figure 3: fixed-partitioning error vs m (figure1, n=40)",
+        )
+    )
+    # Shape claims: monotone improvement; claimed bounds hold at m=3,5.
+    assert results[3].cost <= results[1].cost
+    assert results[5].cost <= results[3].cost
+    assert float(results[3].cost / exact.cost) <= 1 + 2 / 9 + 1e-9
+    assert float(results[5].cost / exact.cost) <= 1 + 2 / 25 + 1e-9
+    # m=1 exhibits the Figure 3(b) failure: ratio well above the m>=3 bound.
+    assert results[1].cost > exact.cost

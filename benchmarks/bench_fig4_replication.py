@@ -1,0 +1,39 @@
+"""E4 — Figure 4: replication labeling of the spread loop.
+
+Paper claim: without replication a broadcast occurs in every iteration;
+with the min-cut labeling a single broadcast occurs at loop entry.
+Regenerates: broadcast volume with and without replication labeling,
+for several loop lengths (the ratio is exactly the iteration count).
+"""
+
+from repro.align import align_program
+from repro.lang import programs
+from repro.machine import format_table
+
+SIZES = [(50, 25), (100, 200), (64, 128)]  # (nt, nk)
+
+
+def _sweep():
+    out = []
+    for nt, nk in SIZES:
+        prog = programs.figure4(nt=nt, nk=nk)
+        with_rep = align_program(prog)
+        without = align_program(prog, replication=False)
+        out.append((nt, nk, with_rep.total_cost, without.total_cost))
+    return out
+
+
+def test_fig4_replication(benchmark, report):
+    rows = benchmark(_sweep)
+    table = []
+    for nt, nk, w, wo in rows:
+        table.append((f"t({nt}), K=1..{nk}", str(w), str(wo), f"{float(wo/w):.0f}x"))
+        assert w == nt          # one broadcast of t at loop entry
+        assert wo == nt * nk    # one broadcast every iteration
+    report.table(
+        format_table(
+            ["workload", "with min-cut", "forced labels only", "ratio"],
+            table,
+            title="E4 / Figure 4: broadcast volume, replication on/off",
+        )
+    )

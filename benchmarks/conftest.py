@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure, worked example,
+or analytic claim) and prints the corresponding rows; run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the tables.  Assertions encode the expected *shape* of each
+result (who wins, by roughly what factor), not 1993 absolute numbers.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects printed result rows so -s shows a tidy transcript."""
+    lines: list[str] = []
+
+    class Reporter:
+        def row(self, text: str) -> None:
+            lines.append(text)
+            print(text)
+
+        def table(self, text: str) -> None:
+            lines.append(text)
+            print("\n" + text)
+
+    return Reporter()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Measure aligned programs on the machine simulator under different
+distributions.
+
+Alignment (this paper) and distribution (deferred by the paper) interact:
+a block distribution coalesces small offset moves into on-processor
+copies, while cyclic scatters them.  This example runs the stencil and
+wavefront workloads under identity / block / cyclic distributions and
+reports actual elements moved and processor hops — the operational view
+of the paper's cost model.
+"""
+
+from repro import align_program, parse
+from repro.machine import measure_plan, format_table
+
+WORKLOADS = {
+    "stencil": """
+real U(64), W(64)
+do t = 1, 8
+  W(2:63) = U(1:62) + U(2:63) + U(3:64)
+  U(2:63) = W(2:63)
+enddo
+""",
+    "wavefront": """
+real A(32,32), V(64)
+do k = 1, 32
+  A(k,1:32) = A(k,1:32) + V(k:k+31)
+enddo
+""",
+}
+
+
+def main() -> None:
+    rows = []
+    for name, src in WORKLOADS.items():
+        program = parse(src, name=name)
+        plan = align_program(program, replication=False)
+        for scheme, procs in [
+            ("identity", None),
+            ("block", (4,) * plan.adg.template_rank),
+            ("cyclic", (4,) * plan.adg.template_rank),
+        ]:
+            rep = measure_plan(plan, scheme=scheme, processors=procs)
+            rows.append(
+                (
+                    name,
+                    scheme,
+                    str(plan.total_cost),
+                    rep.elements_moved,
+                    rep.hop_cost,
+                    rep.broadcast_elements,
+                )
+            )
+    print(
+        format_table(
+            ["workload", "distribution", "eq.1 cost", "elements moved", "hops", "broadcast"],
+            rows,
+            title="Aligned programs measured under different distributions",
+        )
+    )
+    print(
+        "\nNote: under the identity distribution, hops == the analytic "
+        "equation-1 cost; block/cyclic change the operational counts "
+        "without changing the alignment decision."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Example 5 of the paper: mobile *stride* alignment.
+
+::
+
+    real A(1000), B(1000), V(20)
+    do k = 1, 50
+      V = V + A(1:20*k:k)
+      B(1:20*k:k) = V
+    enddo
+
+The sections of A and B have stride ``k`` — it changes every iteration.
+With any static stride for V, one of the two statements needs a general
+communication every iteration (two per iteration total).  The mobile
+stride alignment ``V(i) at [k*i]`` makes V's layout track the sections,
+halving the cost to one general communication per iteration — the
+loop-back realignment of V itself.
+"""
+
+from repro import parse
+from repro.adg import build_adg
+from repro.align import solve_axis_stride
+from repro.align.axis_stride import AxisStrideSolver
+
+PROGRAM = """
+real A(1000), B(1000), V(20)
+do k = 1, 50
+  V = V + A(1:20*k:k)
+  B(1:20*k:k) = V
+enddo
+"""
+
+
+def main() -> None:
+    program = parse(PROGRAM, name="example5")
+    adg = build_adg(program)
+
+    result = solve_axis_stride(adg)
+    print(f"discrete-metric (general communication) cost: {result.cost}")
+    print("  = 20 elements x 49 inter-iteration realignments of V\n")
+
+    print("chosen stride labels:")
+    for p in adg.ports():
+        if p.node.kind.name == "SOURCE" or "merge(V" in p.uid:
+            print(f"  {p.uid:32s} -> {result.of(p)!r}")
+
+    # Compare with the best static labeling: program variables (source,
+    # merge, sink ports) may only take constant strides; derived section
+    # labels stay mobile, as they inherently are.
+    solver = AxisStrideSolver(adg)
+    solver.generate_candidates()
+    storage_kinds = {"SOURCE", "MERGE", "SINK"}
+    for p in adg.ports():
+        if p.node.kind.name not in storage_kinds:
+            continue
+        cands = solver.candidates[id(p)]
+        static_only = [
+            lab
+            for lab in cands
+            if all(
+                ax.stride is None or ax.stride.is_constant for ax in lab.axes
+            )
+        ]
+        if static_only:
+            solver.candidates[id(p)] = static_only
+    static = solver.solve(regenerate=False)
+    print(f"\nbest static-stride cost: {static.cost}")
+    print(
+        f"mobile stride wins by {float(static.cost / result.cost):.2f}x "
+        "(the paper: cost drops from two general communications per "
+        "iteration to one)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: align the paper's Figure 1 fragment.
+
+The program reads a diagonal band of ``V`` against each row of ``A``::
+
+    real A(100,100), V(200)
+    do k = 1, 100
+      A(k,1:100) = A(k,1:100) + V(k:k+99)
+    enddo
+
+A static alignment of V cannot avoid realignment: the band it must meet
+moves one row down and one column right every iteration.  The pipeline
+discovers the paper's *mobile* alignment ``V(i) at [k, i-k+1]``
+(Example 4 / Figure 1(b)) and, with replication enabled, additionally
+replicates the read-only V across rows (Section 5, rule 3).
+"""
+
+from repro import align_program, parse
+from repro.machine import measure_plan
+
+PROGRAM = """
+real A(100,100), V(200)
+do k = 1, 100
+  A(k,1:100) = A(k,1:100) + V(k:k+99)
+enddo
+"""
+
+
+def main() -> None:
+    program = parse(PROGRAM, name="figure1")
+
+    print("=== best static alignment (baseline) ===")
+    static = align_program(program, replication=False, mobile=False)
+    print(static.report())
+
+    print("\n=== mobile alignment (Section 4) ===")
+    mobile = align_program(program, replication=False)
+    print(mobile.report())
+
+    print("\n=== mobile + replication (Section 5) ===")
+    full = align_program(program, replication=True)
+    print(full.report())
+
+    print(
+        f"\nmobile improves on static by "
+        f"{float(static.total_cost / mobile.total_cost):.1f}x; "
+        f"replication improves further to "
+        f"{float(static.total_cost / full.total_cost):.1f}x"
+    )
+
+    print("\noperational check on the machine simulator (identity distribution):")
+    rep = measure_plan(mobile, scheme="identity")
+    print(f"  measured hop cost = {rep.hop_cost}, analytic = {mobile.total_cost}")
+
+
+if __name__ == "__main__":
+    main()

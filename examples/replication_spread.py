@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Figure 4 of the paper: replication labeling by min-cut.
+
+::
+
+    real t(100), B(100,200)
+    do K = 1, 200
+      t = cos(t)
+      B = B + spread(t, dim=2, ncopies=200)
+    enddo
+
+The spread forces its input to be replicated along template axis 2
+(rule 2).  The question the min-cut answers: should the *rest* of t's
+loop-carried cycle (the cos node, the merge, the loop-back) also be
+replicated?  If not, a broadcast of t happens in every iteration
+(100 x 200 = 20,000 elements of broadcast); if yes, a single broadcast
+at loop entry (100 elements) suffices — each processor column then
+updates its own copy of t with a local cos.  The min-cut finds the
+latter, exactly as the paper describes.
+"""
+
+from repro import align_program, parse
+from repro.align import label_replication, solve_axis_stride
+from repro.adg import build_adg
+
+PROGRAM = """
+real t(100), B(100,200)
+do K = 1, 200
+  t = cos(t)
+  B = B + spread(t, dim=2, ncopies=200)
+enddo
+"""
+
+
+def main() -> None:
+    program = parse(PROGRAM, name="figure4")
+
+    print("=== min-cut replication (Section 5) ===")
+    optimal = align_program(program, replication=True)
+    print(optimal.report())
+
+    print("\n=== forced labels only (no optimization) ===")
+    baseline = align_program(program, replication=False)
+    print(baseline.report())
+
+    ratio = float(baseline.total_cost / optimal.total_cost)
+    print(
+        f"\nreplication labeling reduces broadcast volume {ratio:.0f}x "
+        "(one broadcast at loop entry instead of one per iteration)"
+    )
+
+    # Show the cut itself.
+    adg = build_adg(program)
+    skel = solve_axis_stride(adg)
+    rep = label_replication(adg, skel.skeletons, program)
+    print("\nper-axis broadcast cost certified by the cut:")
+    for axis, value in rep.cut_value.items():
+        print(f"  template axis {axis}: {value}")
+
+
+if __name__ == "__main__":
+    main()

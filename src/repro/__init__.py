@@ -1,0 +1,70 @@
+"""repro — Mobile and replicated alignment of arrays in data-parallel programs.
+
+A complete reproduction of Chatterjee, Gilbert & Schreiber (SC'93):
+automatic determination of loop-dependent (*mobile*) array alignments
+and of *replicated* alignments that minimize residual communication in
+data-parallel programs.
+
+Quickstart::
+
+    from repro import parse, align_program
+
+    program = parse('''
+    real A(100,100), V(200)
+    do k = 1, 100
+      A(k,1:100) = A(k,1:100) + V(k:k+99)
+    enddo
+    ''')
+    plan = align_program(program)
+    print(plan.report())
+
+Subpackages:
+
+* :mod:`repro.lang` — the Fortran-90-like mini language (parser, DSL,
+  typechecker, reference programs);
+* :mod:`repro.ir` — affine forms, polynomials, iteration spaces,
+  closed-form sums;
+* :mod:`repro.adg` — the alignment-distribution graph;
+* :mod:`repro.align` — the paper's contribution: axis/stride labeling,
+  the five mobile-offset algorithms, replication labeling by min-cut,
+  and the full pipeline;
+* :mod:`repro.solvers` — from-scratch simplex LP and max-flow/min-cut;
+* :mod:`repro.machine` — a distributed-memory machine simulator that
+  measures the communication the alignments imply.
+"""
+
+from .lang import ProgramBuilder, parse, pretty, typecheck
+from .lang import programs
+from .adg import build_adg
+from .align import (
+    Alignment,
+    AlignmentPlan,
+    align_program,
+    label_replication,
+    solve_axis_stride,
+    solve_mobile_offsets,
+    total_cost,
+)
+from .machine import Distribution, measure_plan, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProgramBuilder",
+    "parse",
+    "pretty",
+    "typecheck",
+    "programs",
+    "build_adg",
+    "Alignment",
+    "AlignmentPlan",
+    "align_program",
+    "label_replication",
+    "solve_axis_stride",
+    "solve_mobile_offsets",
+    "total_cost",
+    "Distribution",
+    "measure_plan",
+    "run_program",
+    "__version__",
+]

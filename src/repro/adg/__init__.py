@@ -1,0 +1,41 @@
+"""Alignment-distribution graph: structure, construction, rendering."""
+
+from .nodes import (
+    EMPTY,
+    EmptyPayload,
+    NodeKind,
+    NodePayload,
+    ReducePayload,
+    SectionPayload,
+    SinkPayload,
+    SourcePayload,
+    SpreadPayload,
+    SubscriptSpec,
+    TransformerPayload,
+)
+from .graph import ADG, ADGEdge, ADGNode, Port
+from .build import ADGBuilder, build_adg, size_poly
+from .render import summary, to_dot
+
+__all__ = [
+    "EMPTY",
+    "EmptyPayload",
+    "NodeKind",
+    "NodePayload",
+    "ReducePayload",
+    "SectionPayload",
+    "SinkPayload",
+    "SourcePayload",
+    "SpreadPayload",
+    "SubscriptSpec",
+    "TransformerPayload",
+    "ADG",
+    "ADGEdge",
+    "ADGNode",
+    "Port",
+    "ADGBuilder",
+    "build_adg",
+    "size_poly",
+    "summary",
+    "to_dot",
+]

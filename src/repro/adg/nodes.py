@@ -1,0 +1,136 @@
+"""ADG node kinds and their constraint payloads.
+
+Each node kind carries a typed payload describing how the node relates
+the alignments of its ports (Section 2.2.2).  The payloads are purely
+syntactic — the alignment phase (:mod:`repro.align.constraints` users)
+interprets them into axis/stride/offset relations.
+
+Kinds and their constraints:
+
+========== =================================================================
+ELEMENTWISE / MERGE / FANOUT / BRANCH
+           all ports identically aligned
+SOURCE / SINK
+           no constraint (anchors for initial/final values)
+SECTION    output = section-transform(input): body axes of the output map
+           through ``stride_out = step * stride_in``,
+           ``offset_out = offset_in + (lo - step) * stride_in``; axes
+           removed by scalar subscripts become *space* positions
+           ``offset_in + stride_in * index``
+SECTION_ASSIGN
+           (array_in, value_in) -> array_out: array_out = array_in;
+           value_in aligned like the section of array_in
+TRANSPOSE  output body axes are the swap of input's
+SPREAD     input is the output minus the spread axis; along that template
+           axis the input port is replicated (R), the output not (N)
+REDUCE     surviving axes align; the reduced axis is released
+GATHER     output aligned with the index operand; table unconstrained
+TRANSFORMER
+           entry:     f_out(liv = first) = f_in
+           loop_back: f_out(liv) = f_in(liv - step)
+           exit:      f_out = f_in(liv = last)
+========== =================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Optional, Union
+
+from ..ir.affine import AffineForm
+from ..ir.symbols import LIV
+
+
+class NodeKind(Enum):
+    SOURCE = auto()
+    SINK = auto()
+    ELEMENTWISE = auto()
+    SECTION = auto()
+    SECTION_ASSIGN = auto()
+    TRANSPOSE = auto()
+    SPREAD = auto()
+    REDUCE = auto()
+    GATHER = auto()
+    MERGE = auto()
+    FANOUT = auto()
+    BRANCH = auto()
+    TRANSFORMER = auto()
+
+
+@dataclass(frozen=True)
+class SubscriptSpec:
+    """One subscript of a section, normalized for constraint generation.
+
+    ``kind`` is "index" (payload ``index``), "slice" (payload ``lo``,
+    ``step``) or "full" (equivalent to slice with lo=1, step=1).
+    """
+
+    kind: str
+    index: Optional[AffineForm] = None
+    lo: Optional[AffineForm] = None
+    step: Optional[AffineForm] = None
+
+
+@dataclass(frozen=True)
+class SectionPayload:
+    """Section or SectionAssign: the normalized subscript list."""
+
+    array: str
+    subscripts: tuple[SubscriptSpec, ...]
+
+
+@dataclass(frozen=True)
+class SpreadPayload:
+    dim: int  # 1-based position of the new axis in the OUTPUT
+    ncopies: int
+
+
+@dataclass(frozen=True)
+class ReducePayload:
+    op: str
+    dim: Optional[int]  # 1-based reduced axis of the INPUT; None = full
+
+
+@dataclass(frozen=True)
+class TransformerPayload:
+    """Iteration-space boundary (Section 2.2.3).
+
+    ``kind`` in {"entry", "loop_back", "exit"}; ``liv`` the loop variable;
+    ``value``: entry -> first iteration value; exit -> last iteration
+    value; loop_back -> the step.
+    """
+
+    kind: str
+    liv: LIV
+    value: int
+
+
+@dataclass(frozen=True)
+class SourcePayload:
+    array: str
+    readonly: bool = False
+    replicate_hint: bool = False
+
+
+@dataclass(frozen=True)
+class SinkPayload:
+    array: str
+
+
+@dataclass(frozen=True)
+class EmptyPayload:
+    pass
+
+
+NodePayload = Union[
+    SectionPayload,
+    SpreadPayload,
+    ReducePayload,
+    TransformerPayload,
+    SourcePayload,
+    SinkPayload,
+    EmptyPayload,
+]
+
+EMPTY = EmptyPayload()

@@ -1,0 +1,101 @@
+"""Core contribution: mobile and replicated alignment analysis."""
+
+from .position import Alignment, AxisAlignment, ReplicatedExtent
+from .metric import alignment_distance, axes_strides_equal, discrete, grid
+from .axis_stride import (
+    AxisStrideResult,
+    AxisStrideSolver,
+    canonical_skeletons,
+    solve_axis_stride,
+)
+from .constraints import (
+    EntryEval,
+    EqualShift,
+    LoopBack,
+    node_offset_relations,
+    section_shifts,
+)
+from .offset_static import (
+    OffsetLP,
+    OffsetLPStats,
+    OffsetSolution,
+    solve_offsets,
+)
+from .offset_mobile import (
+    ALGORITHMS,
+    MobileOffsetResult,
+    fixed_partitioning,
+    recursive_refinement,
+    solve_mobile_offsets,
+    state_space_search,
+    tracking_zero_crossings,
+    unrolling,
+)
+from .replication import (
+    ReplicationLabeler,
+    ReplicationResult,
+    label_replication,
+    read_only_arrays,
+    value_carrier_nodes,
+)
+from .span import has_sign_change, refine_space_at_crossings, span_form
+from .cost import (
+    AlignmentMap,
+    EdgeCost,
+    abs_weighted_span,
+    assemble_alignments,
+    cost_breakdown,
+    edge_cost,
+    offset_only_cost,
+    total_cost,
+)
+from .pipeline import AlignmentPlan, align_program
+
+__all__ = [
+    "Alignment",
+    "AxisAlignment",
+    "ReplicatedExtent",
+    "alignment_distance",
+    "axes_strides_equal",
+    "discrete",
+    "grid",
+    "AxisStrideResult",
+    "AxisStrideSolver",
+    "canonical_skeletons",
+    "solve_axis_stride",
+    "EntryEval",
+    "EqualShift",
+    "LoopBack",
+    "node_offset_relations",
+    "section_shifts",
+    "OffsetLP",
+    "OffsetLPStats",
+    "OffsetSolution",
+    "solve_offsets",
+    "ALGORITHMS",
+    "MobileOffsetResult",
+    "fixed_partitioning",
+    "recursive_refinement",
+    "solve_mobile_offsets",
+    "state_space_search",
+    "tracking_zero_crossings",
+    "unrolling",
+    "ReplicationLabeler",
+    "ReplicationResult",
+    "label_replication",
+    "read_only_arrays",
+    "value_carrier_nodes",
+    "has_sign_change",
+    "refine_space_at_crossings",
+    "span_form",
+    "AlignmentMap",
+    "EdgeCost",
+    "abs_weighted_span",
+    "assemble_alignments",
+    "cost_breakdown",
+    "edge_cost",
+    "offset_only_cost",
+    "total_cost",
+    "AlignmentPlan",
+    "align_program",
+]

@@ -1,0 +1,359 @@
+"""The five mobile-offset algorithms of Section 4.2.
+
+All five share the RLP core (:mod:`repro.align.offset_static`); they
+differ only in how each edge's iteration space is partitioned into
+subranges, and whether the partition is iterated:
+
+1. **unrolling** — every iteration its own subrange; exact but the LP
+   grows with the iteration count;
+2. **state-space search** — one subrange, then steepest descent on the
+   exact cost from the rounded solution;
+3. **tracking zero crossings** — two equal subranges, then move each
+   edge's boundary to its span's zero crossing and re-solve until
+   quiescent (convergence not guaranteed; iteration-capped);
+4. **recursive refinement** — one subrange, then split any subrange in
+   which the solved span changes sign and re-solve, until clean or
+   stalled;
+5. **fixed partitioning** — m equal subranges (m = 3 by default); the
+   paper's recommended compromise, within ``1 + 2/m**2`` of optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping
+
+from ..adg.graph import ADG, ADGEdge
+from ..ir.affine import AffineForm
+from ..ir.itspace import IterationSpace
+from ..ir.symbols import LIV
+from .cost import offset_only_cost
+from .offset_static import (
+    OffsetLPStats,
+    OffsetMap,
+    OffsetSolution,
+    PartitionPlan,
+    ReplicationLabels,
+    edge_is_offset_costed,
+    solve_offsets,
+)
+from .position import Alignment
+from .span import has_sign_change, refine_space_at_crossings
+
+Skeleton = Mapping[int, Alignment]
+
+
+@dataclass
+class MobileOffsetResult:
+    algorithm: str
+    offsets: OffsetMap
+    cost: Fraction
+    lp_stats: list[OffsetLPStats] = field(default_factory=list)
+    iterations: int = 1
+    subranges_total: int = 0
+
+    @property
+    def lp_vars_total(self) -> int:
+        return sum(s.num_vars for s in self.lp_stats)
+
+
+def _plan_fixed(adg: ADG, m: int) -> PartitionPlan:
+    return {e.eid: e.space.grid_partition(m) for e in adg.edges}
+
+
+def _plan_unrolled(adg: ADG) -> PartitionPlan:
+    plan: PartitionPlan = {}
+    for e in adg.edges:
+        n = max((len(t) for t in e.space.triplets), default=1)
+        plan[e.eid] = e.space.grid_partition(n)
+    return plan
+
+
+def _count_subranges(plan: PartitionPlan) -> int:
+    return sum(len(v) for v in plan.values())
+
+
+def _solve_plan(
+    adg: ADG,
+    skeleton: Skeleton,
+    plan: PartitionPlan,
+    replicated: ReplicationLabels | None,
+    backend: str,
+    static: bool = False,
+) -> OffsetSolution:
+    return solve_offsets(adg, skeleton, plan, replicated, backend, static)
+
+
+def _exact_cost(
+    adg: ADG,
+    skeleton: Skeleton,
+    offsets: OffsetMap,
+    replicated: ReplicationLabels | None,
+) -> Fraction:
+    return offset_only_cost(adg, skeleton, offsets, set(replicated or ()))
+
+
+def _edge_spans(
+    adg: ADG,
+    skeleton: Skeleton,
+    offsets: OffsetMap,
+    replicated: ReplicationLabels | None,
+):
+    """Yield (edge, axis, span) for every costed edge/axis pair."""
+    rep = set(replicated or ())
+    for e in adg.edges:
+        for tau in range(adg.template_rank):
+            if not edge_is_offset_costed(e, skeleton, tau, rep):
+                continue
+            span = offsets[(id(e.tail), tau)] - offsets[(id(e.head), tau)]
+            yield e, tau, span
+
+
+# ---------------------------------------------------------------------------
+# 5. Fixed partitioning (the paper's recommendation)
+# ---------------------------------------------------------------------------
+
+
+def fixed_partitioning(
+    adg: ADG,
+    skeleton: Skeleton,
+    m: int = 3,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    static: bool = False,
+) -> MobileOffsetResult:
+    """Partition every edge space into ``m`` equal subranges per axis and
+    solve once.  Guaranteed within ``1 + 2/m**2`` of optimal."""
+    plan = _plan_fixed(adg, m)
+    sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+    cost = _exact_cost(adg, skeleton, sol.offsets, replicated)
+    return MobileOffsetResult(
+        f"fixed(m={m})", sol.offsets, cost, sol.stats, 1, _count_subranges(plan)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 1. Unrolling (exact, large LP)
+# ---------------------------------------------------------------------------
+
+
+def unrolling(
+    adg: ADG,
+    skeleton: Skeleton,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    static: bool = False,
+) -> MobileOffsetResult:
+    """Every iteration its own subrange: the exact mobile-offset optimum
+    (over affine alignments), at the price of an LP that scales with the
+    iteration count."""
+    plan = _plan_unrolled(adg)
+    sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+    cost = _exact_cost(adg, skeleton, sol.offsets, replicated)
+    return MobileOffsetResult(
+        "unrolling", sol.offsets, cost, sol.stats, 1, _count_subranges(plan)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 2. State-space search
+# ---------------------------------------------------------------------------
+
+
+def state_space_search(
+    adg: ADG,
+    skeleton: Skeleton,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    max_passes: int = 4,
+    static: bool = False,
+) -> MobileOffsetResult:
+    """One-subrange RLP seed, then steepest descent on the exact cost.
+
+    The descent perturbs each offset coefficient slot by +-1 and keeps
+    the per-node constraint structure intact by re-deriving dependent
+    ports — implemented here as a coordinate descent over the rounded
+    solution's free slots, since node-derived slots move rigidly with
+    their roots.
+    """
+    plan = _plan_fixed(adg, 1)
+    sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+    offsets = dict(sol.offsets)
+    best = _exact_cost(adg, skeleton, offsets, replicated)
+    # Group ports per node: moving a node's ports together preserves all
+    # intra-node relations (they are relative).
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        improved = False
+        for n in adg.nodes:
+            for tau in range(adg.template_rank):
+                slots: list[LIV | None] = [None]
+                for p in n.ports:
+                    for liv in p.space.livs:
+                        if liv not in slots:
+                            slots.append(liv)
+                for slot in slots:
+                    for delta in (1, -1):
+                        trial = dict(offsets)
+                        for p in n.ports:
+                            key = (id(p), tau)
+                            form = trial[key]
+                            if slot is None:
+                                trial[key] = form + delta
+                            elif slot in p.space.livs:
+                                trial[key] = form + AffineForm.variable(slot, delta)
+                        c = _exact_cost(adg, skeleton, trial, replicated)
+                        if c < best:
+                            best = c
+                            offsets = trial
+                            improved = True
+                            break
+        if not improved:
+            break
+    return MobileOffsetResult(
+        "state-space", offsets, best, sol.stats, passes, _count_subranges(plan)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 3. Tracking zero crossings
+# ---------------------------------------------------------------------------
+
+
+def tracking_zero_crossings(
+    adg: ADG,
+    skeleton: Skeleton,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    max_iter: int = 8,
+    static: bool = False,
+) -> MobileOffsetResult:
+    """Two equal subranges per edge; then move subrange boundaries to the
+    solved spans' zero crossings and re-solve until the cost stops
+    improving (convergence is not guaranteed; the paper says so)."""
+    plan = _plan_fixed(adg, 2)
+    sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+    best_offsets = sol.offsets
+    best = _exact_cost(adg, skeleton, best_offsets, replicated)
+    stats = list(sol.stats)
+    iters = 1
+    for _ in range(max_iter - 1):
+        newplan: PartitionPlan = dict(plan)
+        changed = False
+        for e, tau, span in _edge_spans(adg, skeleton, best_offsets, replicated):
+            if span == AffineForm(0) or not has_sign_change(span, e.space):
+                continue
+            parts = refine_space_at_crossings(span, e.space)
+            if len(parts) > 1:
+                newplan[e.eid] = parts
+                changed = True
+        if not changed:
+            break
+        iters += 1
+        plan = newplan
+        sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+        stats.extend(sol.stats)
+        c = _exact_cost(adg, skeleton, sol.offsets, replicated)
+        if c < best:
+            best = c
+            best_offsets = sol.offsets
+        else:
+            break
+    return MobileOffsetResult(
+        "zero-crossing", best_offsets, best, stats, iters, _count_subranges(plan)
+    )
+
+
+# ---------------------------------------------------------------------------
+# 4. Recursive refinement
+# ---------------------------------------------------------------------------
+
+
+def recursive_refinement(
+    adg: ADG,
+    skeleton: Skeleton,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    max_iter: int = 8,
+    static: bool = False,
+) -> MobileOffsetResult:
+    """One subrange; split any subrange whose solved span changes sign at
+    the crossing; re-solve; repeat until clean, stalled, or capped."""
+    plan: PartitionPlan = _plan_fixed(adg, 1)
+    sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+    best_offsets = sol.offsets
+    best = _exact_cost(adg, skeleton, best_offsets, replicated)
+    stats = list(sol.stats)
+    iters = 1
+    for _ in range(max_iter - 1):
+        newplan: PartitionPlan = {}
+        changed = False
+        span_by_edge: dict[tuple[int, int], AffineForm] = {}
+        for e, tau, span in _edge_spans(adg, skeleton, best_offsets, replicated):
+            span_by_edge[(e.eid, tau)] = span
+        for e in adg.edges:
+            parts = plan.get(e.eid, [e.space])
+            refined: list[IterationSpace] = []
+            for sub in parts:
+                split = False
+                for tau in range(adg.template_rank):
+                    span = span_by_edge.get((e.eid, tau))
+                    if span is None or span == AffineForm(0):
+                        continue
+                    if has_sign_change(span, sub):
+                        refined.extend(refine_space_at_crossings(span, sub))
+                        split = True
+                        changed = True
+                        break
+                if not split:
+                    refined.append(sub)
+            newplan[e.eid] = refined
+        if not changed:
+            break
+        iters += 1
+        plan = newplan
+        sol = _solve_plan(adg, skeleton, plan, replicated, backend, static)
+        stats.extend(sol.stats)
+        c = _exact_cost(adg, skeleton, sol.offsets, replicated)
+        if c < best:
+            best = c
+            best_offsets = sol.offsets
+        else:
+            break
+    return MobileOffsetResult(
+        "recursive-refinement",
+        best_offsets,
+        best,
+        stats,
+        iters,
+        _count_subranges(plan),
+    )
+
+
+ALGORITHMS = {
+    "unrolling": unrolling,
+    "state-space": state_space_search,
+    "zero-crossing": tracking_zero_crossings,
+    "recursive-refinement": recursive_refinement,
+    "fixed": fixed_partitioning,
+}
+
+
+def solve_mobile_offsets(
+    adg: ADG,
+    skeleton: Skeleton,
+    algorithm: str = "fixed",
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    **kw,
+) -> MobileOffsetResult:
+    """Entry point: run one of the five Section 4.2 algorithms."""
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return fn(adg, skeleton, replicated=replicated, backend=backend, **kw)

@@ -1,0 +1,380 @@
+"""Offset alignment by rounded linear programming (Sections 4.1–4.3).
+
+This module is the LP core shared by every mobile-offset algorithm: given
+
+* a *skeleton* (axis/stride labels from Section 3),
+* a per-axis replication labeling (Section 5; replicated endpoints drop
+  their edges from the offset problem), and
+* a *partition plan* assigning each edge a list of subranges of its
+  iteration space (Section 4.2),
+
+it builds one LP per template axis — separability of the grid metric
+(Section 2.3) makes the axes independent — with
+
+* one offset-coefficient variable per (port, LIV-slot),
+* the node relations of :mod:`repro.align.constraints` as equalities,
+* one bound variable per (edge, subrange) with the paper's two
+  inequalities ``theta >= +-(span-sum)``, where the span-sum is the
+  moment form ``delta a . M_R`` evaluated in closed form,
+
+solves it, and *rounds*: each node derives integer offsets for all its
+ports from its root port, so node constraints hold exactly after
+rounding (the relation graph is per-node, hence acyclic).
+
+For a program with no loops every edge space is scalar, the plan is the
+trivial single subrange, and this reduces to the static offset LP of the
+authors' POPL'93 paper, as Section 4 notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..adg.graph import ADG, ADGEdge, ADGNode, Port
+from ..adg.nodes import NodeKind
+from ..ir.affine import AffineForm
+from ..ir.closedform import weighted_moments
+from ..ir.itspace import IterationSpace
+from ..ir.symbols import LIV
+from ..solvers.lp import LinExpr, LPModel
+from .constraints import EntryEval, EqualShift, LoopBack, OffsetRelation, node_offset_relations
+from .position import Alignment
+
+# (id(port), template_axis) -> whether that port/axis is replicated.
+ReplicationLabels = set[tuple[int, int]]
+
+# edge -> subranges covering its iteration space.
+PartitionPlan = dict[int, list[IterationSpace]]  # keyed by edge eid
+
+# Result: (id(port), axis) -> offset AffineForm with integer coefficients.
+OffsetMap = dict[tuple[int, int], AffineForm]
+
+Slot = tuple[int, object]  # (id(port), None | LIV)
+
+
+@dataclass
+class OffsetLPStats:
+    axis: int
+    num_vars: int
+    num_constraints: int
+    objective: float
+
+
+@dataclass
+class OffsetSolution:
+    offsets: OffsetMap
+    stats: list[OffsetLPStats] = field(default_factory=list)
+
+    def of(self, p: Port, axis: int) -> AffineForm:
+        return self.offsets[(id(p), axis)]
+
+
+def edge_is_offset_costed(
+    e: ADGEdge,
+    skeleton: Mapping[int, Alignment],
+    axis: int,
+    replicated: ReplicationLabels,
+) -> bool:
+    """Whether an edge contributes grid-metric offset cost on ``axis``.
+
+    Edges whose ports disagree on axis/stride already pay the discrete
+    general-communication cost (Section 3); edges with a replicated
+    endpoint on this axis are discarded per Section 5.1.
+    """
+    if skeleton[id(e.tail)] != skeleton[id(e.head)]:
+        return False
+    if (id(e.tail), axis) in replicated or (id(e.head), axis) in replicated:
+        return False
+    return True
+
+
+class OffsetLP:
+    """One offset LP instance for a fixed template axis and plan."""
+
+    def __init__(
+        self,
+        adg: ADG,
+        skeleton: Mapping[int, Alignment],
+        axis: int,
+        plan: PartitionPlan,
+        replicated: ReplicationLabels | None = None,
+        backend: str = "scipy",
+        static: bool = False,
+    ) -> None:
+        self.adg = adg
+        self.skeleton = skeleton
+        self.axis = axis
+        self.plan = plan
+        self.replicated = replicated or set()
+        self.backend = backend
+        self.static = static
+        self.model = LPModel(f"offset-axis{axis}")
+        self.vars: dict[Slot, object] = {}
+        self.relations: list[OffsetRelation] = []
+
+    # -- variables ------------------------------------------------------------
+
+    def _slot(self, p: Port, liv: LIV | None):
+        key = (id(p), liv)
+        v = self.vars.get(key)
+        if v is None:
+            name = f"p{id(p) % 100000}_{'c' if liv is None else liv.name}"
+            v = self.model.var(name)
+            self.vars[key] = v
+        return v
+
+    def _offset_expr(self, p: Port) -> LinExpr:
+        expr = LinExpr.of(self._slot(p, None))
+        for liv in p.space.livs:
+            expr = expr + LinExpr({self._slot(p, liv): 1.0})
+        return expr
+
+    # -- constraints --------------------------------------------------------------
+
+    def _emit_relation(self, rel: OffsetRelation) -> None:
+        m = self.model
+        if isinstance(rel, EqualShift):
+            p, q, shift = rel.p, rel.q, rel.shift
+            m.add(
+                LinExpr.of(self._slot(q, None)) - self._slot(p, None),
+                "==",
+                float(shift.const),
+            )
+            livs = set(q.space.livs) | set(p.space.livs) | set(shift.livs())
+            for liv in livs:
+                lhs = LinExpr()
+                if liv in q.space.livs:
+                    lhs = lhs + self._slot(q, liv)
+                if liv in p.space.livs:
+                    lhs = lhs - LinExpr.of(self._slot(p, liv))
+                m.add(lhs, "==", float(shift.coeff(liv)))
+        elif isinstance(rel, EntryEval):
+            p, q, k, v = rel.p, rel.q, rel.liv, rel.value
+            # a_q0 + v*a_qk = a_p0
+            m.add(
+                LinExpr.of(self._slot(q, None))
+                + LinExpr({self._slot(q, k): float(v)})
+                - self._slot(p, None),
+                "==",
+                0,
+            )
+            for liv in p.space.livs:
+                m.add(
+                    LinExpr.of(self._slot(q, liv)) - self._slot(p, liv), "==", 0
+                )
+        elif isinstance(rel, LoopBack):
+            p, q, k, s = rel.p, rel.q, rel.liv, rel.step
+            # f_q(k) = f_p(k - s):  a_q0 = a_p0 - s*a_pk ;  a_qk = a_pk
+            m.add(
+                LinExpr.of(self._slot(q, None))
+                - self._slot(p, None)
+                + LinExpr({self._slot(p, k): float(s)}),
+                "==",
+                0,
+            )
+            for liv in q.space.livs:
+                m.add(
+                    LinExpr.of(self._slot(q, liv)) - self._slot(p, liv), "==", 0
+                )
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown relation {rel!r}")
+
+    # -- assembly ----------------------------------------------------------------------
+
+    def build(self) -> None:
+        for n in self.adg.nodes:
+            for rel in node_offset_relations(n, dict(self.skeleton)):
+                if rel.axis == self.axis:
+                    self.relations.append(rel)
+                    self._emit_relation(rel)
+        objective = LinExpr()
+        for e in self.adg.edges:
+            if not edge_is_offset_costed(e, self.skeleton, self.axis, self.replicated):
+                continue
+            subranges = self.plan.get(e.eid, [e.space])
+            for j, sub in enumerate(subranges):
+                if sub.is_empty():
+                    continue
+                moments = weighted_moments(sub, e.weight)
+                inner = LinExpr()
+                inner = inner + LinExpr(
+                    {self._slot(e.tail, None): float(moments.m0)}
+                ) - LinExpr({self._slot(e.head, None): float(moments.m0)})
+                for liv, m1 in moments.m1.items():
+                    inner = (
+                        inner
+                        + LinExpr({self._slot(e.tail, liv): float(m1)})
+                        - LinExpr({self._slot(e.head, liv): float(m1)})
+                    )
+                theta = self.model.var(f"th_e{e.eid}_{j}", lower=0)
+                self.model.add_abs_bound(theta, inner, name=f"abs_e{e.eid}_{j}")
+                objective = objective + theta * e.control_weight
+        # Pin one port per weakly-connected component to anchor translation.
+        self._pin_components()
+        if self.static:
+            # Static-alignment baseline: loop-carried values (merge nodes)
+            # and program variables (sources/sinks) may not move with the
+            # LIVs.  Derived section positions stay mobile, as they must.
+            for n in self.adg.nodes:
+                if n.kind in (NodeKind.SOURCE, NodeKind.MERGE, NodeKind.SINK):
+                    for p in n.ports:
+                        for liv in p.space.livs:
+                            self.model.add(
+                                LinExpr.of(self._slot(p, liv)), "==", 0
+                            )
+        self.model.minimize(objective)
+
+    def _pin_components(self) -> None:
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for rel in self.relations:
+            union(id(rel.p), id(rel.q))
+        for e in self.adg.edges:
+            union(id(e.tail), id(e.head))
+        pinned: set[int] = set()
+        for p in self.adg.ports():
+            root = find(id(p))
+            if root not in pinned:
+                pinned.add(root)
+                self.model.add(LinExpr.of(self._slot(p, None)), "==", 0)
+
+    # -- solve + round -----------------------------------------------------------------
+
+    def solve(self) -> tuple[dict[Slot, Fraction], OffsetLPStats]:
+        self.build()
+        sol = self.model.solve(backend=self.backend)
+        if sol.status != "optimal":
+            raise RuntimeError(f"offset LP axis {self.axis}: {sol.status}")
+        values = {
+            key: Fraction(sol.values[v]).limit_denominator(10**9)
+            for key, v in self.vars.items()
+        }
+        stats = OffsetLPStats(
+            self.axis,
+            self.model.num_vars,
+            self.model.num_constraints,
+            sol.objective,
+        )
+        return values, stats
+
+    # -- rounding: per-node derivation keeps constraints exact ---------------------------
+
+    def rounded_offsets(self, values: dict[Slot, Fraction]) -> OffsetMap:
+        out: OffsetMap = {}
+
+        def lp_slot(p: Port, liv: LIV | None) -> Fraction:
+            return values.get((id(p), liv), Fraction(0))
+
+        def rounded_port(p: Port) -> AffineForm:
+            coeffs = {liv: Fraction(round(lp_slot(p, liv))) for liv in p.space.livs}
+            return AffineForm(Fraction(round(lp_slot(p, None))), coeffs)
+
+        for n in self.adg.nodes:
+            rels = [r for r in self.relations if r.p.node is n or r.q.node is n]
+            node_rels = [
+                r for r in rels if r.p.node is n and r.q.node is n
+            ]
+            assigned: dict[int, AffineForm] = {}
+            # Repeatedly derive ports from already-assigned neighbours.
+            pending = list(node_rels)
+            # Seed: root any port not derivable otherwise.
+            order = list(n.ports)
+            progress = True
+            while progress:
+                progress = False
+                for rel in list(pending):
+                    pa, qa = assigned.get(id(rel.p)), assigned.get(id(rel.q))
+                    if pa is not None and qa is not None:
+                        pending.remove(rel)
+                        continue
+                    if pa is None and qa is None:
+                        continue
+                    if pa is not None:
+                        assigned[id(rel.q)] = self._derive_q(rel, pa, rel.q, values)
+                    else:
+                        assigned[id(rel.p)] = self._derive_p(rel, qa, rel.p, values)
+                    pending.remove(rel)
+                    progress = True
+                if not progress and pending:
+                    # Seed a root among ports of remaining relations.
+                    for rel in pending:
+                        if id(rel.p) not in assigned:
+                            assigned[id(rel.p)] = rounded_port(rel.p)
+                            progress = True
+                            break
+                        if id(rel.q) not in assigned:
+                            assigned[id(rel.q)] = rounded_port(rel.q)
+                            progress = True
+                            break
+            for p in order:
+                if id(p) not in assigned:
+                    assigned[id(p)] = rounded_port(p)
+            for p in n.ports:
+                out[(id(p), self.axis)] = assigned[id(p)]
+        return out
+
+    def _derive_q(
+        self, rel: OffsetRelation, pa: AffineForm, q: Port, values
+    ) -> AffineForm:
+        if isinstance(rel, EqualShift):
+            return pa + rel.shift
+        if isinstance(rel, EntryEval):
+            k, v = rel.liv, rel.value
+            ak = Fraction(round(values.get((id(q), k), Fraction(0))))
+            coeffs = {liv: pa.coeff(liv) for liv in rel.p.space.livs}
+            coeffs[k] = ak
+            const = pa.const - v * ak
+            return AffineForm(const, coeffs)
+        if isinstance(rel, LoopBack):
+            k, s = rel.liv, rel.step
+            return pa.shift_liv(k, -s)
+        raise TypeError(rel)
+
+    def _derive_p(
+        self, rel: OffsetRelation, qa: AffineForm, p: Port, values
+    ) -> AffineForm:
+        if isinstance(rel, EqualShift):
+            return qa - rel.shift
+        if isinstance(rel, EntryEval):
+            k, v = rel.liv, rel.value
+            # a_p0 = a_q0 + v * a_qk ; p copies q's other slots
+            coeffs = {liv: qa.coeff(liv) for liv in p.space.livs}
+            const = qa.const + v * qa.coeff(k)
+            return AffineForm(const, coeffs)
+        if isinstance(rel, LoopBack):
+            k, s = rel.liv, rel.step
+            return qa.shift_liv(k, s)
+        raise TypeError(rel)
+
+
+def solve_offsets(
+    adg: ADG,
+    skeleton: Mapping[int, Alignment],
+    plan: PartitionPlan,
+    replicated: ReplicationLabels | None = None,
+    backend: str = "scipy",
+    static: bool = False,
+) -> OffsetSolution:
+    """Solve the offset problem for every template axis under one plan."""
+    offsets: OffsetMap = {}
+    stats = []
+    for axis in range(adg.template_rank):
+        lp = OffsetLP(adg, skeleton, axis, plan, replicated, backend, static)
+        values, st = lp.solve()
+        offsets.update(lp.rounded_offsets(values))
+        stats.append(st)
+    return OffsetSolution(offsets, stats)

@@ -1,0 +1,162 @@
+"""The full alignment pipeline.
+
+Phases, in the paper's order:
+
+1. build the ADG (Section 2.2);
+2. axis + mobile stride alignment under the discrete metric (Section 3);
+3. replication labeling by min-cut, iterated with
+4. mobile offset alignment by RLP (Sections 4 and 5) until quiescence —
+   the paper's resolution of the chicken-and-egg between replication
+   (which needs to know which offsets are mobile) and offsets (which
+   skip edges with replicated endpoints);
+5. assembly of full per-port alignments and exact cost accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from ..adg.build import build_adg
+from ..adg.graph import ADG, Port
+from ..lang.ast import Program
+from ..lang.typecheck import TypeInfo, typecheck
+from .axis_stride import AxisStrideResult, solve_axis_stride
+from .cost import AlignmentMap, EdgeCost, assemble_alignments, cost_breakdown, total_cost
+from .offset_mobile import MobileOffsetResult, solve_mobile_offsets
+from .position import Alignment
+from .replication import ReplicationResult, label_replication
+
+
+@dataclass
+class AlignmentPlan:
+    """Everything the pipeline decided, plus cost accounting."""
+
+    program: Program
+    adg: ADG
+    axis_stride: AxisStrideResult
+    replication: Optional[ReplicationResult]
+    offsets: MobileOffsetResult
+    alignments: AlignmentMap
+    total_cost: Fraction
+    replication_rounds: int = 1
+
+    def alignment_of(self, p: Port) -> Alignment:
+        return self.alignments[id(p)]
+
+    def source_alignments(self) -> dict[str, Alignment]:
+        """Final alignment of each declared array (at its source port)."""
+        from ..adg.nodes import NodeKind, SourcePayload
+
+        out = {}
+        for n in self.adg.nodes:
+            if n.kind is NodeKind.SOURCE and isinstance(n.payload, SourcePayload):
+                out[n.payload.array] = self.alignments[id(n.outputs()[0])]
+        return out
+
+    def breakdown(self) -> list[EdgeCost]:
+        return cost_breakdown(self.adg, self.alignments)
+
+    def report(self) -> str:
+        lines = [
+            f"program {self.program.name}: total realignment cost {self.total_cost}",
+            f"  axis/stride discrete cost: {self.axis_stride.cost}",
+        ]
+        for arr, al in sorted(self.source_alignments().items()):
+            lines.append(f"  {arr}: {al!r}")
+        nonzero = [ec for ec in self.breakdown() if ec.cost != 0]
+        if nonzero:
+            lines.append("  costed edges:")
+            for ec in nonzero:
+                lines.append(
+                    f"    {ec.kind:10s} {str(ec.cost):>12s}  "
+                    f"{ec.edge.tail.uid} -> {ec.edge.head.uid}"
+                )
+        return "\n".join(lines)
+
+
+def align_program(
+    program: Program,
+    algorithm: str = "fixed",
+    backend: str = "scipy",
+    replication: bool = True,
+    mobile: bool = True,
+    max_replication_rounds: int = 3,
+    info: TypeInfo | None = None,
+    **alg_kw,
+) -> AlignmentPlan:
+    """Run the complete alignment analysis on a program.
+
+    ``algorithm`` selects the Section 4.2 mobile-offset algorithm;
+    ``mobile=False`` computes the best *static* alignment baseline
+    (program variables pinned, derived positions still track sections);
+    ``replication=False`` disables Section 5 labeling (every port N).
+    """
+    info = info or typecheck(program)
+    adg = build_adg(program, info)
+    skel = solve_axis_stride(adg)
+
+    replicated: set[tuple[int, int]] = set()
+    rep_result: Optional[ReplicationResult] = None
+    offsets_result: Optional[MobileOffsetResult] = None
+    rounds = 0
+    if replication:
+        # Iterate replication labeling <-> mobile offsets until quiescence
+        # (Section 6).  Labels accumulate monotonically: once replication
+        # is justified by a mobile offset, dropping the offset's cost must
+        # not un-justify it — this guarantees termination.
+        offsets = None
+        seen: set[tuple[int, int]] | None = None
+        for _ in range(max_replication_rounds):
+            rounds += 1
+            rep_result = label_replication(
+                adg, skel.skeletons, program, offsets
+            )
+            new_rep = rep_result.replicated_ports() | (seen or set())
+            offsets_result = solve_mobile_offsets(
+                adg,
+                skel.skeletons,
+                algorithm,
+                replicated=new_rep,
+                backend=backend,
+                static=not mobile,
+                **alg_kw,
+            )
+            offsets = offsets_result.offsets
+            if new_rep == seen:
+                break
+            seen = new_rep
+        replicated = seen or set()
+    else:
+        # Baseline: only the program-forced labels (spread inputs R).
+        rounds = 1
+        rep_result = label_replication(
+            adg, skel.skeletons, program, None, minimal=True
+        )
+        replicated = rep_result.replicated_ports()
+        offsets_result = solve_mobile_offsets(
+            adg,
+            skel.skeletons,
+            algorithm,
+            replicated=replicated,
+            backend=backend,
+            static=not mobile,
+            **alg_kw,
+        )
+
+    assert offsets_result is not None
+    alignments = assemble_alignments(
+        adg, skel.skeletons, offsets_result.offsets, replicated
+    )
+    cost = total_cost(adg, alignments)
+    return AlignmentPlan(
+        program,
+        adg,
+        skel,
+        rep_result,
+        offsets_result,
+        alignments,
+        cost,
+        replication_rounds=rounds,
+    )

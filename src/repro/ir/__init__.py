@@ -1,0 +1,40 @@
+"""Symbolic substrate: LIVs, affine forms, polynomials, iteration spaces.
+
+Everything the alignment algorithms manipulate symbolically lives here.
+All arithmetic is exact (``fractions.Fraction``); floats only appear at
+the LP-solver boundary.
+"""
+
+from .symbols import LIV, LoopContext, SymbolTable
+from .affine import AffineForm, ONE, ZERO
+from .polynomial import Polynomial, sum_powers
+from .itspace import IterationSpace, Triplet
+from .closedform import (
+    Moments,
+    average_index,
+    fixed_size_cost_closed_form,
+    sigma0,
+    sigma1,
+    sigma2,
+    weighted_moments,
+)
+
+__all__ = [
+    "LIV",
+    "LoopContext",
+    "SymbolTable",
+    "AffineForm",
+    "ZERO",
+    "ONE",
+    "Polynomial",
+    "sum_powers",
+    "IterationSpace",
+    "Triplet",
+    "Moments",
+    "average_index",
+    "fixed_size_cost_closed_form",
+    "sigma0",
+    "sigma1",
+    "sigma2",
+    "weighted_moments",
+]

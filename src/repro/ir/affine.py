@@ -1,0 +1,221 @@
+"""Affine forms over loop induction variables.
+
+Section 2.4 of the paper restricts mobile alignment functions to affine
+functions of the LIVs: for a k-deep loop nest with LIVs ``i1 .. ik`` the
+alignment is ``a0 + a1*i1 + ... + ak*ik``, written ``a i^T`` with
+``i = (1, i1, ..., ik)``.
+
+:class:`AffineForm` is that coefficient vector with exact rational
+arithmetic (``fractions.Fraction``) so that LP round-off never leaks into
+the symbolic layer; rounding to integers is an explicit, separate step
+(the "R" in the paper's RLP).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping, Union
+
+from .symbols import LIV
+
+Scalar = Union[int, Fraction]
+
+
+def _frac(x: Scalar) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    if isinstance(x, float):
+        # Floats appear only at the LP boundary; convert exactly.
+        return Fraction(x).limit_denominator(10**12)
+    raise TypeError(f"cannot build Fraction from {type(x).__name__}")
+
+
+class AffineForm:
+    """An affine function ``a0 + sum_j a_j * liv_j`` of LIVs.
+
+    Immutable.  LIVs not present in the coefficient map have coefficient
+    zero.  Supports +, -, scalar *, substitution, and evaluation.
+    """
+
+    __slots__ = ("_const", "_coeffs")
+
+    def __init__(
+        self,
+        const: Scalar = 0,
+        coeffs: Mapping[LIV, Scalar] | None = None,
+    ) -> None:
+        self._const = _frac(const)
+        cleaned: dict[LIV, Fraction] = {}
+        if coeffs:
+            for liv, c in coeffs.items():
+                fc = _frac(c)
+                if fc != 0:
+                    cleaned[liv] = fc
+        self._coeffs = cleaned
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def constant(cls, c: Scalar) -> "AffineForm":
+        return cls(c)
+
+    @classmethod
+    def variable(cls, liv: LIV, coeff: Scalar = 1) -> "AffineForm":
+        return cls(0, {liv: coeff})
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def const(self) -> Fraction:
+        return self._const
+
+    def coeff(self, liv: LIV) -> Fraction:
+        return self._coeffs.get(liv, Fraction(0))
+
+    @property
+    def coeffs(self) -> dict[LIV, Fraction]:
+        return dict(self._coeffs)
+
+    def livs(self) -> frozenset[LIV]:
+        return frozenset(self._coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def is_integral(self) -> bool:
+        """True when every coefficient (and the constant) is an integer."""
+        return self._const.denominator == 1 and all(
+            c.denominator == 1 for c in self._coeffs.values()
+        )
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: "AffineForm | Scalar") -> "AffineForm":
+        if isinstance(other, (int, Fraction)):
+            return AffineForm(self._const + _frac(other), self._coeffs)
+        if not isinstance(other, AffineForm):
+            return NotImplemented
+        coeffs = dict(self._coeffs)
+        for liv, c in other._coeffs.items():
+            coeffs[liv] = coeffs.get(liv, Fraction(0)) + c
+        return AffineForm(self._const + other._const, coeffs)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineForm":
+        return AffineForm(-self._const, {v: -c for v, c in self._coeffs.items()})
+
+    def __sub__(self, other: "AffineForm | Scalar") -> "AffineForm":
+        if isinstance(other, (int, Fraction)):
+            return self + (-_frac(other))
+        if not isinstance(other, AffineForm):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: Scalar) -> "AffineForm":
+        return (-self) + _frac(other)
+
+    def __mul__(self, k: Scalar) -> "AffineForm":
+        if not isinstance(k, (int, Fraction)):
+            return NotImplemented
+        kf = _frac(k)
+        return AffineForm(
+            self._const * kf, {v: c * kf for v, c in self._coeffs.items()}
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: Scalar) -> "AffineForm":
+        kf = _frac(k)
+        if kf == 0:
+            raise ZeroDivisionError("division of AffineForm by zero")
+        return self * (Fraction(1) / kf)
+
+    # -- evaluation and substitution ------------------------------------
+
+    def evaluate(self, env: Mapping[LIV, Scalar]) -> Fraction:
+        """Evaluate at a point; every LIV with nonzero coefficient must be bound."""
+        total = self._const
+        for liv, c in self._coeffs.items():
+            if liv not in env:
+                raise KeyError(f"unbound LIV {liv.name} in evaluation")
+            total += c * _frac(env[liv])
+        return total
+
+    def substitute(self, env: Mapping[LIV, "AffineForm | Scalar"]) -> "AffineForm":
+        """Replace LIVs by affine forms (loop normalization, transformer nodes).
+
+        LIVs absent from ``env`` are left symbolic.
+        """
+        result = AffineForm(self._const)
+        for liv, c in self._coeffs.items():
+            repl = env.get(liv)
+            if repl is None:
+                result = result + AffineForm.variable(liv, c)
+            elif isinstance(repl, AffineForm):
+                result = result + repl * c
+            else:
+                result = result + _frac(repl) * c
+        return result
+
+    def shift_liv(self, liv: LIV, delta: Scalar) -> "AffineForm":
+        """Substitute ``liv -> liv + delta`` (loop-back transformer semantics)."""
+        return self.substitute({liv: AffineForm.variable(liv) + _frac(delta)})
+
+    # -- vector view -----------------------------------------------------
+
+    def coefficient_vector(self, livs: Iterable[LIV]) -> tuple[Fraction, ...]:
+        """``(a0, a1, ..., ak)`` against an explicit LIV ordering."""
+        return (self._const,) + tuple(self.coeff(v) for v in livs)
+
+    @classmethod
+    def from_coefficient_vector(
+        cls, vec: Iterable[Scalar], livs: Iterable[LIV]
+    ) -> "AffineForm":
+        it = iter(vec)
+        const = next(it)
+        coeffs = {liv: c for liv, c in zip(livs, it)}
+        return cls(const, coeffs)
+
+    def rounded(self) -> "AffineForm":
+        """Round every coefficient to the nearest integer (the R of RLP)."""
+        def r(x: Fraction) -> Fraction:
+            return Fraction(int(Fraction(round(x))))
+
+        return AffineForm(
+            round(self._const), {v: Fraction(round(c)) for v, c in self._coeffs.items()}
+        )
+
+    # -- equality, hashing, display ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.is_constant and self._const == other
+        if not isinstance(other, AffineForm):
+            return NotImplemented
+        return self._const == other._const and self._coeffs == other._coeffs
+
+    def __hash__(self) -> int:
+        return hash((self._const, frozenset(self._coeffs.items())))
+
+    def __repr__(self) -> str:
+        parts: list[str] = []
+        if self._const != 0 or not self._coeffs:
+            parts.append(str(self._const))
+        for liv in sorted(self._coeffs, key=lambda v: (v.depth, v.name)):
+            c = self._coeffs[liv]
+            if c == 1:
+                parts.append(f"{liv.name}")
+            elif c == -1:
+                parts.append(f"-{liv.name}")
+            else:
+                parts.append(f"{c}*{liv.name}")
+        out = " + ".join(parts).replace("+ -", "- ")
+        return out
+
+
+ZERO = AffineForm(0)
+ONE = AffineForm(1)

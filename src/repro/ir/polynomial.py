@@ -1,0 +1,293 @@
+"""Multivariate polynomials over loop induction variables.
+
+Data weights in the ADG (the size of the object flowing along an edge at a
+given iteration) are polynomial in the LIVs: Section 2.4 restricts object
+extents to be affine in the LIVs, so the element count of a d-dimensional
+object — a product of d affine extents — is a degree-d polynomial.
+
+Communication weights in both the stride problem (Section 3) and the
+offset problem (Sections 4.2–4.3) are sums of these polynomials over
+iteration spaces, which this module evaluates exactly in closed form via
+Faulhaber power sums.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from math import comb
+from typing import Mapping, Union
+
+from .affine import AffineForm, Scalar, _frac
+from .symbols import LIV
+
+# A monomial is a frozenset-free canonical form: a tuple of (LIV, exponent)
+# pairs sorted by (depth, name), exponents >= 1.
+Monomial = tuple[tuple[LIV, int], ...]
+
+_EMPTY: Monomial = ()
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    exps: dict[LIV, int] = {}
+    for liv, e in a + b:
+        exps[liv] = exps.get(liv, 0) + e
+    return tuple(sorted(exps.items(), key=lambda p: (p[0].depth, p[0].name)))
+
+
+@lru_cache(maxsize=None)
+def _bernoulli(n: int) -> Fraction:
+    """Bernoulli numbers B_n (B_1 = -1/2 convention), via the standard recurrence."""
+    if n == 0:
+        return Fraction(1)
+    total = Fraction(0)
+    for k in range(n):
+        total += comb(n + 1, k) * _bernoulli(k)
+    return -total / (n + 1)
+
+
+def sum_powers(n: int, p: int) -> Fraction:
+    """Exact ``sum_{t=0}^{n-1} t**p`` (Faulhaber).  ``n >= 0``, ``p >= 0``."""
+    if n <= 0:
+        return Fraction(0)
+    if p == 0:
+        return Fraction(n)
+    # Faulhaber: sum_{t=0}^{n-1} t^p = (1/(p+1)) sum_{j=0}^{p} C(p+1, j) B_j n^{p+1-j}
+    total = Fraction(0)
+    for j in range(p + 1):
+        total += comb(p + 1, j) * _bernoulli(j) * Fraction(n) ** (p + 1 - j)
+    return total / (p + 1)
+
+
+class Polynomial:
+    """A multivariate polynomial with exact rational coefficients.
+
+    Stored as ``{monomial: coefficient}``.  Immutable by convention
+    (operations return new instances).
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, Scalar] | None = None) -> None:
+        cleaned: dict[Monomial, Fraction] = {}
+        if terms:
+            for mono, c in terms.items():
+                fc = _frac(c)
+                if fc != 0:
+                    cleaned[mono] = fc
+        self._terms = cleaned
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def constant(cls, c: Scalar) -> "Polynomial":
+        return cls({_EMPTY: c})
+
+    @classmethod
+    def variable(cls, liv: LIV) -> "Polynomial":
+        return cls({((liv, 1),): 1})
+
+    @classmethod
+    def from_affine(cls, form: AffineForm) -> "Polynomial":
+        terms: dict[Monomial, Fraction] = {_EMPTY: form.const}
+        for liv, c in form.coeffs.items():
+            terms[((liv, 1),)] = c
+        return cls(terms)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def terms(self) -> dict[Monomial, Fraction]:
+        return dict(self._terms)
+
+    def coeff(self, mono: Monomial) -> Fraction:
+        return self._terms.get(mono, Fraction(0))
+
+    @property
+    def const(self) -> Fraction:
+        return self._terms.get(_EMPTY, Fraction(0))
+
+    @property
+    def is_constant(self) -> bool:
+        return all(m == _EMPTY for m in self._terms)
+
+    def degree(self) -> int:
+        if not self._terms:
+            return 0
+        return max((sum(e for _, e in m) for m in self._terms), default=0)
+
+    def livs(self) -> frozenset[LIV]:
+        out: set[LIV] = set()
+        for m in self._terms:
+            out.update(liv for liv, _ in m)
+        return frozenset(out)
+
+    def as_affine(self) -> AffineForm:
+        """Convert to an AffineForm; raises ``ValueError`` if degree > 1."""
+        if self.degree() > 1:
+            raise ValueError(f"polynomial {self} is not affine")
+        coeffs = {
+            m[0][0]: c for m, c in self._terms.items() if m != _EMPTY
+        }
+        return AffineForm(self.const, coeffs)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "Polynomial | AffineForm | Scalar") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        terms = dict(self._terms)
+        for m, c in other._terms.items():
+            terms[m] = terms.get(m, Fraction(0)) + c
+        return Polynomial(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: "Polynomial | AffineForm | Scalar") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: Scalar) -> "Polynomial":
+        return (-self) + _frac(other)
+
+    def __mul__(self, other: "Polynomial | AffineForm | Scalar") -> "Polynomial":
+        other = _coerce(other)
+        if other is None:
+            return NotImplemented
+        terms: dict[Monomial, Fraction] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                m = _mono_mul(m1, m2)
+                terms[m] = terms.get(m, Fraction(0)) + c1 * c2
+        return Polynomial(terms)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, p: int) -> "Polynomial":
+        if p < 0:
+            raise ValueError("negative power of Polynomial")
+        out = Polynomial.constant(1)
+        base = self
+        while p:
+            if p & 1:
+                out = out * base
+            base = base * base
+            p >>= 1
+        return out
+
+    # -- evaluation, substitution, summation ---------------------------------
+
+    def evaluate(self, env: Mapping[LIV, Scalar]) -> Fraction:
+        total = Fraction(0)
+        for m, c in self._terms.items():
+            val = c
+            for liv, e in m:
+                if liv not in env:
+                    raise KeyError(f"unbound LIV {liv.name}")
+                val *= _frac(env[liv]) ** e
+            total += val
+        return total
+
+    def substitute(self, env: Mapping[LIV, "Polynomial | AffineForm | Scalar"]) -> "Polynomial":
+        """Replace LIVs by polynomials; absent LIVs stay symbolic."""
+        result = Polynomial()
+        for m, c in self._terms.items():
+            term = Polynomial.constant(c)
+            for liv, e in m:
+                repl = env.get(liv)
+                if repl is None:
+                    factor = Polynomial.variable(liv)
+                elif isinstance(repl, Polynomial):
+                    factor = repl
+                elif isinstance(repl, AffineForm):
+                    factor = Polynomial.from_affine(repl)
+                else:
+                    factor = Polynomial.constant(repl)
+                term = term * factor**e
+            result = result + term
+        return result
+
+    def sum_over(self, liv: LIV, lo: int, hi: int, step: int = 1) -> "Polynomial":
+        """Exact closed-form ``sum_{liv in lo:hi:step} self``.
+
+        The iteration set is ``lo, lo+step, ..., <= hi`` (Fortran triplet
+        semantics; empty if the triplet is empty).  The result no longer
+        mentions ``liv``.
+        """
+        if step == 0:
+            raise ValueError("step must be nonzero")
+        if step > 0:
+            n = max(0, (hi - lo) // step + 1) if hi >= lo else 0
+        else:
+            n = max(0, (lo - hi) // (-step) + 1) if hi <= lo else 0
+        if n == 0:
+            return Polynomial()
+        # liv takes values lo + step*t for t = 0..n-1.
+        result = Polynomial()
+        for m, c in self._terms.items():
+            rest: Monomial = tuple((v, e) for v, e in m if v != liv)
+            p = next((e for v, e in m if v == liv), 0)
+            # sum_t (lo + step*t)^p = sum_j C(p,j) lo^(p-j) step^j S_j(n)
+            s = Fraction(0)
+            for j in range(p + 1):
+                s += (
+                    comb(p, j)
+                    * Fraction(lo) ** (p - j)
+                    * Fraction(step) ** j
+                    * sum_powers(n, j)
+                )
+            result = result + Polynomial({rest: c * s})
+        return result
+
+    # -- equality, display ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Fraction)):
+            return self.is_constant and self.const == other
+        if isinstance(other, AffineForm):
+            other = Polynomial.from_affine(other)
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for m in sorted(
+            self._terms,
+            key=lambda m: (-sum(e for _, e in m), [(v.name, e) for v, e in m]),
+        ):
+            c = self._terms[m]
+            if m == _EMPTY:
+                parts.append(str(c))
+                continue
+            mono = "*".join(
+                f"{v.name}" if e == 1 else f"{v.name}^{e}" for v, e in m
+            )
+            if c == 1:
+                parts.append(mono)
+            elif c == -1:
+                parts.append(f"-{mono}")
+            else:
+                parts.append(f"{c}*{mono}")
+        return " + ".join(parts).replace("+ -", "- ")
+
+
+def _coerce(x: Union["Polynomial", AffineForm, int, Fraction]) -> "Polynomial | None":
+    if isinstance(x, Polynomial):
+        return x
+    if isinstance(x, AffineForm):
+        return Polynomial.from_affine(x)
+    if isinstance(x, (int, Fraction)):
+        return Polynomial.constant(x)
+    return None

@@ -1,0 +1,119 @@
+"""Symbol management for loop induction variables (LIVs).
+
+The paper restricts mobile alignments and object extents to affine (and
+data weights to polynomial) functions of the loop induction variables of
+the enclosing ``do`` loops.  This module provides the tiny symbol layer
+those functions are written over: interned, ordered LIV symbols plus a
+``LoopContext`` describing a nest of loops.
+
+LIVs are ordered outermost-first; an :class:`~repro.ir.affine.AffineForm`
+over a k-deep nest is the coefficient vector ``(a0, a1, ..., ak)`` of the
+paper's Section 2.4, with ``a0`` the constant term and ``ai`` the
+coefficient of the i-th LIV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class LIV:
+    """A loop induction variable.
+
+    ``depth`` is the loop-nest depth of the loop that declares this LIV,
+    with the outermost loop at depth 0.  Two LIVs with the same name but
+    different depths are distinct (shadowing in nested loops is legal in
+    the surface language, though unusual).
+    """
+
+    name: str
+    depth: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class SymbolTable:
+    """Interning table assigning stable indices to LIVs.
+
+    The index of a LIV is its position in the coefficient vector of every
+    :class:`~repro.ir.affine.AffineForm` built against this table.  Index 0
+    is always the constant term, so LIV ``j`` occupies coefficient ``j+1``.
+    """
+
+    def __init__(self, livs: Sequence[LIV] = ()) -> None:
+        self._livs: list[LIV] = []
+        self._index: dict[LIV, int] = {}
+        for v in livs:
+            self.intern(v)
+
+    def intern(self, liv: LIV) -> int:
+        """Return the index of ``liv``, adding it if unseen."""
+        idx = self._index.get(liv)
+        if idx is None:
+            idx = len(self._livs)
+            self._livs.append(liv)
+            self._index[liv] = idx
+        return idx
+
+    def index(self, liv: LIV) -> int:
+        """Return the index of an already-interned LIV.
+
+        Raises ``KeyError`` for unknown LIVs — affine arithmetic must never
+        silently grow the symbol universe of an existing form.
+        """
+        return self._index[liv]
+
+    def __len__(self) -> int:
+        return len(self._livs)
+
+    def __iter__(self) -> Iterator[LIV]:
+        return iter(self._livs)
+
+    def __contains__(self, liv: LIV) -> bool:
+        return liv in self._index
+
+    def livs(self) -> tuple[LIV, ...]:
+        return tuple(self._livs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymbolTable({[str(v) for v in self._livs]})"
+
+
+@dataclass
+class LoopContext:
+    """A stack of enclosing loops, outermost first.
+
+    Carries both the LIV symbols and their iteration triplets (as raw
+    ``(lo, hi, step)`` integers).  The ADG builder threads a LoopContext
+    through statement traversal; transformer nodes are emitted when data
+    crosses from one context into another.
+    """
+
+    livs: list[LIV] = field(default_factory=list)
+    triplets: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def push(self, liv: LIV, lo: int, hi: int, step: int = 1) -> None:
+        if step == 0:
+            raise ValueError("loop step must be nonzero")
+        self.livs.append(liv)
+        self.triplets.append((lo, hi, step))
+
+    def pop(self) -> tuple[LIV, tuple[int, int, int]]:
+        return self.livs.pop(), self.triplets.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self.livs)
+
+    def copy(self) -> "LoopContext":
+        return LoopContext(list(self.livs), list(self.triplets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [
+            f"{v.name}={lo}:{hi}:{s}"
+            for v, (lo, hi, s) in zip(self.livs, self.triplets)
+        ]
+        return f"LoopContext[{', '.join(parts)}]"

@@ -1,0 +1,281 @@
+"""Python DSL for constructing programs without parsing.
+
+The textual parser covers programs stored as source; this builder is the
+programmatic front end, convenient for tests and generated workloads::
+
+    b = ProgramBuilder("fig1")
+    A = b.real("A", 100, 100)
+    V = b.real("V", 200)
+    with b.do("k", 1, 100) as k:
+        b.assign(A[k, 1:100], A[k, 1:100] + V[k : k + 99])
+    program = b.build()
+
+Subscript conventions follow *Fortran*, not Python: ``A[1:100]`` is the
+inclusive section ``A(1:100)`` (100 elements), ``A[k]`` is a scalar
+subscript, ``A[:, j]`` a full first axis.  Both endpoints of a slice are
+mandatory except in the bare ``:`` form.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+from ..ir.affine import AffineForm
+from ..ir.symbols import LIV
+from . import ast as A
+
+ScalarLike = Union[int, AffineForm, "LivHandle"]
+
+
+def _affine(x: ScalarLike) -> AffineForm:
+    if isinstance(x, AffineForm):
+        return x
+    if isinstance(x, LivHandle):
+        return AffineForm.variable(x.liv)
+    if isinstance(x, int):
+        return AffineForm(x)
+    raise TypeError(f"cannot use {x!r} as a scalar index")
+
+
+class LivHandle:
+    """A loop induction variable inside a ``with b.do(...)`` block.
+
+    Supports affine arithmetic so subscripts read like the paper:
+    ``V[k : k + 99]``.
+    """
+
+    def __init__(self, liv: LIV) -> None:
+        self.liv = liv
+
+    def __add__(self, other: ScalarLike) -> AffineForm:
+        return _affine(self) + _affine(other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: ScalarLike) -> AffineForm:
+        return _affine(self) - _affine(other)
+
+    def __rsub__(self, other: ScalarLike) -> AffineForm:
+        return _affine(other) - _affine(self)
+
+    def __mul__(self, k: int) -> AffineForm:
+        return _affine(self) * k
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> AffineForm:
+        return -_affine(self)
+
+    def __repr__(self) -> str:
+        return f"LivHandle({self.liv.name})"
+
+
+class ExprHandle:
+    """Wraps an AST expression with operator overloading."""
+
+    def __init__(self, node: A.Expr) -> None:
+        self.node = node
+
+    @staticmethod
+    def of(x: "ExprHandle | A.Expr | int | float") -> "ExprHandle":
+        if isinstance(x, ExprHandle):
+            return x
+        if isinstance(x, A.Expr):
+            return ExprHandle(x)
+        if isinstance(x, (int, float)):
+            return ExprHandle(A.Const(float(x)))
+        raise TypeError(f"cannot use {x!r} as an array expression")
+
+    def _bin(self, op: str, other, swapped: bool = False) -> "ExprHandle":
+        o = ExprHandle.of(other)
+        l, r = (o, self) if swapped else (self, o)
+        return ExprHandle(A.BinOp(op, l.node, r.node))
+
+    def __add__(self, other):
+        return self._bin("+", other)
+
+    def __radd__(self, other):
+        return self._bin("+", other, swapped=True)
+
+    def __sub__(self, other):
+        return self._bin("-", other)
+
+    def __rsub__(self, other):
+        return self._bin("-", other, swapped=True)
+
+    def __mul__(self, other):
+        return self._bin("*", other)
+
+    def __rmul__(self, other):
+        return self._bin("*", other, swapped=True)
+
+    def __truediv__(self, other):
+        return self._bin("/", other)
+
+    def __rtruediv__(self, other):
+        return self._bin("/", other, swapped=True)
+
+    def __neg__(self):
+        return ExprHandle(A.UnaryOp("-", self.node))
+
+    def __repr__(self) -> str:
+        return f"ExprHandle({self.node!r})"
+
+
+class ArrayHandle(ExprHandle):
+    """A declared array; indexing produces section references."""
+
+    def __init__(self, decl: A.Decl) -> None:
+        super().__init__(A.Ref(decl.name))
+        self.decl = decl
+
+    def __getitem__(self, subs) -> ExprHandle:
+        if not isinstance(subs, tuple):
+            subs = (subs,)
+        converted: list[A.Subscript] = []
+        for s in subs:
+            if isinstance(s, slice):
+                if s.start is None and s.stop is None and s.step is None:
+                    converted.append(A.FullSlice())
+                else:
+                    if s.start is None or s.stop is None:
+                        raise ValueError(
+                            "sections need explicit lo and hi (Fortran triplets)"
+                        )
+                    step = _affine(1 if s.step is None else s.step)
+                    converted.append(
+                        A.Slice(_affine(s.start), _affine(s.stop), step)
+                    )
+            else:
+                converted.append(A.Index(_affine(s)))
+        return ExprHandle(A.Ref(self.decl.name, tuple(converted)))
+
+    @property
+    def ref(self) -> A.Ref:
+        return A.Ref(self.decl.name)
+
+
+# Free functions mirroring the intrinsics -----------------------------------
+
+
+def transpose(x) -> ExprHandle:
+    return ExprHandle(A.Transpose(ExprHandle.of(x).node))
+
+
+def spread(x, dim: int, ncopies: int) -> ExprHandle:
+    return ExprHandle(A.Spread(ExprHandle.of(x).node, dim, ncopies))
+
+
+def reduce_(op: str, x, dim: int | None = None) -> ExprHandle:
+    return ExprHandle(A.Reduce(op, ExprHandle.of(x).node, dim))
+
+
+def sum_(x, dim: int | None = None) -> ExprHandle:
+    return reduce_("sum", x, dim)
+
+
+def intrinsic(name: str, x) -> ExprHandle:
+    return ExprHandle(A.Intrinsic(name, ExprHandle.of(x).node))
+
+
+def cos(x) -> ExprHandle:
+    return intrinsic("cos", x)
+
+
+def sin(x) -> ExprHandle:
+    return intrinsic("sin", x)
+
+
+def sqrt(x) -> ExprHandle:
+    return intrinsic("sqrt", x)
+
+
+def gather(table, index) -> ExprHandle:
+    t = ExprHandle.of(table).node
+    if not isinstance(t, A.Ref):
+        raise TypeError("gather table must be an array reference")
+    return ExprHandle(A.Gather(t, ExprHandle.of(index).node))
+
+
+class ProgramBuilder:
+    """Accumulates declarations and statements; see module docstring."""
+
+    def __init__(self, name: str = "main") -> None:
+        self.name = name
+        self._decls: list[A.Decl] = []
+        self._stack: list[list[A.Stmt]] = [[]]
+        self._livs: list[str] = []
+
+    # -- declarations -------------------------------------------------------
+
+    def real(
+        self,
+        name: str,
+        *dims: int,
+        readonly: bool = False,
+        replicate_hint: bool = False,
+    ) -> ArrayHandle:
+        d = A.Decl(
+            name, tuple(dims), "real", readonly=readonly, replicate_hint=replicate_hint
+        )
+        self._decls.append(d)
+        return ArrayHandle(d)
+
+    def integer(self, name: str, *dims: int, **kw) -> ArrayHandle:
+        d = A.Decl(name, tuple(dims), "integer", **kw)
+        self._decls.append(d)
+        return ArrayHandle(d)
+
+    # -- statements -----------------------------------------------------------
+
+    def assign(self, lhs, rhs) -> None:
+        ln = ExprHandle.of(lhs).node
+        if not isinstance(ln, A.Ref):
+            raise TypeError("assignment target must be an array reference")
+        self._stack[-1].append(A.Assign(ln, ExprHandle.of(rhs).node))
+
+    @contextmanager
+    def do(self, liv: str, lo: int, hi: int, step: int = 1) -> Iterator[LivHandle]:
+        if liv in self._livs:
+            raise ValueError(f"loop variable {liv!r} shadows an enclosing loop")
+        self._livs.append(liv)
+        self._stack.append([])
+        try:
+            yield LivHandle(LIV(liv, 0))
+        finally:
+            body = self._stack.pop()
+            self._livs.pop()
+            self._stack[-1].append(A.Do(liv, lo, hi, step, tuple(body)))
+
+    @contextmanager
+    def if_(self, cond: str, prob: float = 0.5):
+        """Open an if block; yields an object with an ``otherwise`` context."""
+        self._stack.append([])
+        holder = _IfHolder(self)
+        try:
+            yield holder
+        finally:
+            then_body = self._stack.pop()
+            self._stack[-1].append(
+                A.If(cond, tuple(then_body), tuple(holder.else_body), prob)
+            )
+
+    def build(self) -> A.Program:
+        if len(self._stack) != 1:
+            raise RuntimeError("unclosed loop or branch in builder")
+        return A.Program(tuple(self._decls), tuple(self._stack[0]), name=self.name)
+
+
+class _IfHolder:
+    def __init__(self, builder: ProgramBuilder) -> None:
+        self._builder = builder
+        self.else_body: tuple[A.Stmt, ...] = ()
+
+    @contextmanager
+    def otherwise(self):
+        self._builder._stack.append([])
+        try:
+            yield
+        finally:
+            self.else_body = tuple(self._builder._stack.pop())

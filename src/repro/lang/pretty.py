@@ -1,0 +1,126 @@
+"""Pretty-printer: AST back to surface syntax.
+
+``parse(pretty(p))`` round-trips for every program the parser accepts —
+tested property-style in the suite.
+"""
+
+from __future__ import annotations
+
+from ..ir.affine import AffineForm
+from . import ast as A
+
+
+def _affine_str(f: AffineForm) -> str:
+    """Render an affine form in surface syntax (e.g. ``2*k + 3``)."""
+    parts: list[str] = []
+    for liv in sorted(f.coeffs, key=lambda v: v.name):
+        c = f.coeff(liv)
+        if c == 1:
+            term = liv.name
+        elif c == -1:
+            term = f"-{liv.name}"
+        elif c.denominator == 1:
+            term = f"{c.numerator}*{liv.name}"
+        else:
+            term = f"{c.numerator}*{liv.name}/{c.denominator}"
+        parts.append(term)
+    if f.const != 0 or not parts:
+        c = f.const
+        parts.append(str(c.numerator) if c.denominator == 1 else f"{c.numerator}/{c.denominator}")
+    out = parts[0]
+    for p in parts[1:]:
+        out += f" - {p[1:]}" if p.startswith("-") else f" + {p}"
+    return out
+
+
+def _subscript_str(s: A.Subscript) -> str:
+    if isinstance(s, A.FullSlice):
+        return ":"
+    if isinstance(s, A.Index):
+        return _affine_str(s.value)
+    assert isinstance(s, A.Slice)
+    base = f"{_affine_str(s.lo)}:{_affine_str(s.hi)}"
+    if s.step == AffineForm(1):
+        return base
+    return f"{base}:{_affine_str(s.step)}"
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def expr_str(e: A.Expr, parent_prec: int = 0) -> str:
+    if isinstance(e, A.Const):
+        v = e.value
+        return str(int(v)) if v == int(v) else repr(v)
+    if isinstance(e, A.ScalarRef):
+        return e.name
+    if isinstance(e, A.Ref):
+        if not e.subscripts:
+            return e.name
+        inner = ",".join(_subscript_str(s) for s in e.subscripts)
+        return f"{e.name}({inner})"
+    if isinstance(e, A.BinOp):
+        prec = _PRECEDENCE[e.op]
+        left = expr_str(e.left, prec)
+        # Right operand of - and / needs parens at equal precedence.
+        right = expr_str(e.right, prec + (1 if e.op in ("-", "/") else 0))
+        text = f"{left} {e.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(e, A.UnaryOp):
+        inner = expr_str(e.operand, 3)
+        return f"-{inner}"
+    if isinstance(e, A.Intrinsic):
+        return f"{e.name}({expr_str(e.operand)})"
+    if isinstance(e, A.Transpose):
+        return f"transpose({expr_str(e.operand)})"
+    if isinstance(e, A.Spread):
+        return f"spread({expr_str(e.operand)}, dim={e.dim}, ncopies={e.ncopies})"
+    if isinstance(e, A.Reduce):
+        if e.dim is None:
+            return f"{e.op}({expr_str(e.operand)})"
+        return f"{e.op}({expr_str(e.operand)}, dim={e.dim})"
+    if isinstance(e, A.Gather):
+        return f"gather({expr_str(e.table)}, {expr_str(e.index)})"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def _stmt_lines(s: A.Stmt, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(s, A.Assign):
+        return [f"{pad}{expr_str(s.lhs)} = {expr_str(s.rhs)}"]
+    if isinstance(s, A.Do):
+        head = f"{pad}do {s.liv} = {s.lo}, {s.hi}"
+        if s.step != 1:
+            head += f", {s.step}"
+        lines = [head]
+        for inner in s.body:
+            lines.extend(_stmt_lines(inner, indent + 1))
+        lines.append(f"{pad}enddo")
+        return lines
+    if isinstance(s, A.If):
+        lines = [f"{pad}if ({s.cond}) then"]
+        for inner in s.then_body:
+            lines.extend(_stmt_lines(inner, indent + 1))
+        if s.else_body:
+            lines.append(f"{pad}else")
+            for inner in s.else_body:
+                lines.extend(_stmt_lines(inner, indent + 1))
+        lines.append(f"{pad}endif")
+        return lines
+    raise TypeError(f"unknown statement {s!r}")
+
+
+def pretty(p: A.Program) -> str:
+    """Render a whole program as parseable surface text."""
+    lines: list[str] = []
+    for d in p.decls:
+        attrs = ""
+        if d.readonly:
+            attrs += "readonly "
+        if d.replicate_hint:
+            attrs += "replicated "
+        dims = ",".join(str(x) for x in d.dims)
+        lines.append(f"{attrs}{d.kind} {d.name}({dims})")
+    for s in p.body:
+        lines.extend(_stmt_lines(s, 0))
+    return "\n".join(lines) + "\n"

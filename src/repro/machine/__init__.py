@@ -1,0 +1,36 @@
+"""Distributed-memory machine simulator: distributions + traffic counting."""
+
+from .template import ProcessorGrid, Template
+from .distribution import (
+    AxisDistribution,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+    Identity,
+)
+from .comm import MoveCount, count_move
+from .executor import EdgeTraffic, TrafficReport, measure_plan, measure_traffic
+from .interp import Interpreter, InterpreterError, run_program
+from .report import format_table
+
+__all__ = [
+    "ProcessorGrid",
+    "Template",
+    "AxisDistribution",
+    "Block",
+    "BlockCyclic",
+    "Cyclic",
+    "Distribution",
+    "Identity",
+    "MoveCount",
+    "count_move",
+    "EdgeTraffic",
+    "TrafficReport",
+    "measure_plan",
+    "measure_traffic",
+    "Interpreter",
+    "InterpreterError",
+    "run_program",
+    "format_table",
+]

@@ -1,0 +1,141 @@
+"""Distributions: template cells -> processors.
+
+The paper's second phase (which it explicitly defers) maps template
+cells onto processors; the simulator implements the three standard HPF
+distributions per axis — block, cyclic, block-cyclic — plus the identity
+distribution (one processor per cell) under which processor-hop counts
+coincide exactly with the paper's grid-metric cost, which is what the
+equation-1 validation experiment uses.
+
+All mapping functions are vectorized over numpy arrays of cell
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .template import ProcessorGrid, Template
+
+
+class AxisDistribution:
+    """Maps one template axis's cell coordinates to processor coords."""
+
+    def map(self, cells: np.ndarray) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def processor_coordinate_distance(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """|proc(a) - proc(b)| along this axis (hop distance)."""
+        return np.abs(self.map(a) - self.map(b))
+
+
+@dataclass
+class Block(AxisDistribution):
+    """Contiguous blocks of ``block`` cells per processor, from ``base``."""
+
+    nprocs: int
+    block: int
+    base: int = 0
+
+    def map(self, cells: np.ndarray) -> np.ndarray:
+        return np.clip((cells - self.base) // self.block, 0, self.nprocs - 1)
+
+
+@dataclass
+class Cyclic(AxisDistribution):
+    """Cell c lives on processor ``(c - base) mod nprocs``."""
+
+    nprocs: int
+    base: int = 0
+
+    def map(self, cells: np.ndarray) -> np.ndarray:
+        return np.mod(cells - self.base, self.nprocs)
+
+
+@dataclass
+class BlockCyclic(AxisDistribution):
+    """Blocks of ``block`` cells dealt cyclically to processors."""
+
+    nprocs: int
+    block: int
+    base: int = 0
+
+    def map(self, cells: np.ndarray) -> np.ndarray:
+        return np.mod((cells - self.base) // self.block, self.nprocs)
+
+
+@dataclass
+class Identity(AxisDistribution):
+    """One processor per template cell: the cost-model-exact machine."""
+
+    def map(self, cells: np.ndarray) -> np.ndarray:
+        return np.asarray(cells)
+
+
+@dataclass
+class Distribution:
+    """A full template distribution: one AxisDistribution per axis."""
+
+    axes: tuple[AxisDistribution, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.axes)
+
+    @classmethod
+    def identity(cls, rank: int) -> "Distribution":
+        return cls(tuple(Identity() for _ in range(rank)))
+
+    @classmethod
+    def block(cls, template: Template, grid: ProcessorGrid) -> "Distribution":
+        if not template.extents:
+            raise ValueError("block distribution needs template extents")
+        axes = []
+        for ext, p in zip(template.extents, grid.shape):
+            blk = max(1, -(-ext // p))  # ceil division
+            axes.append(Block(p, blk))
+        return cls(tuple(axes))
+
+    @classmethod
+    def cyclic(cls, template: Template, grid: ProcessorGrid) -> "Distribution":
+        return cls(tuple(Cyclic(p) for p in grid.shape))
+
+    @classmethod
+    def block_cyclic(
+        cls, template: Template, grid: ProcessorGrid, block: int | Sequence[int] = 4
+    ) -> "Distribution":
+        blocks = [block] * grid.rank if isinstance(block, int) else list(block)
+        return cls(
+            tuple(BlockCyclic(p, b) for p, b in zip(grid.shape, blocks))
+        )
+
+    def map_cells(self, cells: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Per-axis processor coordinates for arrays of cell coordinates."""
+        return [ax.map(np.asarray(c)) for ax, c in zip(self.axes, cells)]
+
+    def moved_mask(
+        self, src: Sequence[np.ndarray], dst: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Boolean mask of elements whose processor changes."""
+        moved = None
+        for ax, s, d in zip(self.axes, src, dst):
+            m = ax.map(np.asarray(s)) != ax.map(np.asarray(d))
+            moved = m if moved is None else (moved | m)
+        assert moved is not None
+        return moved
+
+    def hop_distance(
+        self, src: Sequence[np.ndarray], dst: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """Per-element L1 distance in processor-grid hops."""
+        total = None
+        for ax, s, d in zip(self.axes, src, dst):
+            h = ax.processor_coordinate_distance(np.asarray(s), np.asarray(d))
+            total = h if total is None else total + h
+        assert total is not None
+        return total

@@ -1,0 +1,190 @@
+"""Reference interpreter: numpy semantics for the mini language.
+
+Alignment analysis must never change program meaning; this interpreter
+defines that meaning.  Language tests execute programs here and compare
+against hand-computed results; the machine simulator shares its
+section/spread/reduction semantics.
+
+Arrays are Fortran-style 1-based in the surface language and stored as
+0-based numpy arrays internally.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..ir.affine import AffineForm
+from ..ir.symbols import LIV
+from ..lang import ast as A
+
+_INTRINSICS = {
+    "cos": np.cos,
+    "sin": np.sin,
+    "exp": np.exp,
+    "sqrt": np.sqrt,
+    "abs": np.abs,
+    "log": np.log,
+    "tanh": np.tanh,
+}
+
+_REDUCTIONS = {
+    "sum": np.sum,
+    "product": np.prod,
+    "maxval": np.max,
+    "minval": np.min,
+}
+
+
+class InterpreterError(RuntimeError):
+    pass
+
+
+class Interpreter:
+    """Executes a program; array state is a dict of numpy arrays."""
+
+    def __init__(self, program: A.Program, init: Mapping[str, np.ndarray] | None = None):
+        self.program = program
+        self.state: dict[str, np.ndarray] = {}
+        for d in program.decls:
+            if init and d.name in init:
+                arr = np.array(init[d.name], dtype=float)
+                if arr.shape != d.dims:
+                    raise InterpreterError(
+                        f"initializer for {d.name} has shape {arr.shape}, "
+                        f"declared {d.dims}"
+                    )
+                self.state[d.name] = arr
+            else:
+                self.state[d.name] = np.zeros(d.dims)
+        self.env: dict[LIV, int] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _int(self, form: AffineForm) -> int:
+        v = form.evaluate(self.env)
+        if v.denominator != 1:
+            raise InterpreterError(f"non-integer index {form} = {v}")
+        return int(v)
+
+    def _np_index(self, ref: A.Ref):
+        """Convert subscripts to a numpy index tuple (0-based)."""
+        decl = self.program.decl(ref.name)
+        if not ref.subscripts:
+            return (slice(None),) * decl.rank
+        out = []
+        for sub, extent in zip(ref.subscripts, decl.dims):
+            if isinstance(sub, A.FullSlice):
+                out.append(slice(None))
+            elif isinstance(sub, A.Index):
+                i = self._int(sub.value)
+                if not 1 <= i <= extent:
+                    raise InterpreterError(
+                        f"{ref.name}: index {i} out of bounds 1..{extent}"
+                    )
+                out.append(i - 1)
+            else:
+                assert isinstance(sub, A.Slice)
+                lo = self._int(sub.lo)
+                hi = self._int(sub.hi)
+                st = self._int(sub.step)
+                if st == 0:
+                    raise InterpreterError("zero section step")
+                if not (1 <= lo <= extent and 1 <= hi <= extent):
+                    raise InterpreterError(
+                        f"{ref.name}: section {lo}:{hi}:{st} out of bounds 1..{extent}"
+                    )
+                out.append(slice(lo - 1, hi - 1 + (1 if st > 0 else -1) or None, st))
+        return tuple(out)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> dict[str, np.ndarray]:
+        self._block(self.program.body)
+        return self.state
+
+    def _block(self, stmts) -> None:
+        for s in stmts:
+            if isinstance(s, A.Assign):
+                value = self._eval(s.rhs)
+                idx = self._np_index(s.lhs)
+                self.state[s.lhs.name][idx] = value
+            elif isinstance(s, A.Do):
+                liv = LIV(s.liv, 0)
+                k = s.lo
+                while (s.step > 0 and k <= s.hi) or (s.step < 0 and k >= s.hi):
+                    self.env[liv] = k
+                    self._block(s.body)
+                    k += s.step
+                self.env.pop(liv, None)
+            elif isinstance(s, A.If):
+                cond = self._condition(s.cond)
+                self._block(s.then_body if cond else s.else_body)
+            else:
+                raise InterpreterError(f"unknown statement {s!r}")
+
+    def _condition(self, cond: str) -> bool:
+        """Branch conditions are opaque to alignment; the interpreter
+        resolves names bound in the state's scalars or defaults to True."""
+        text = cond.strip()
+        if text in ("true", ".true.", "1"):
+            return True
+        if text in ("false", ".false.", "0"):
+            return False
+        return True
+
+    def _eval(self, e: A.Expr):
+        if isinstance(e, A.Const):
+            return e.value
+        if isinstance(e, A.ScalarRef):
+            raise InterpreterError(f"unbound scalar {e.name}")
+        if isinstance(e, A.Ref):
+            if e.name not in self.state and not e.subscripts:
+                # A bare identifier may be a LIV used as a scalar value.
+                liv = LIV(e.name, 0)
+                if liv in self.env:
+                    return float(self.env[liv])
+                raise InterpreterError(f"undeclared array or LIV {e.name!r}")
+            return self.state[e.name][self._np_index(e)]
+        if isinstance(e, A.BinOp):
+            l = self._eval(e.left)
+            r = self._eval(e.right)
+            if e.op == "+":
+                return l + r
+            if e.op == "-":
+                return l - r
+            if e.op == "*":
+                return l * r
+            if e.op == "/":
+                return l / r
+            raise InterpreterError(f"unknown operator {e.op}")
+        if isinstance(e, A.UnaryOp):
+            return -self._eval(e.operand)
+        if isinstance(e, A.Intrinsic):
+            return _INTRINSICS[e.name](self._eval(e.operand))
+        if isinstance(e, A.Transpose):
+            return np.transpose(self._eval(e.operand))
+        if isinstance(e, A.Spread):
+            v = np.asarray(self._eval(e.operand))
+            return np.repeat(np.expand_dims(v, e.dim - 1), e.ncopies, axis=e.dim - 1)
+        if isinstance(e, A.Reduce):
+            v = np.asarray(self._eval(e.operand))
+            fn = _REDUCTIONS[e.op]
+            if e.dim is None:
+                return fn(v)
+            return fn(v, axis=e.dim - 1)
+        if isinstance(e, A.Gather):
+            table = self.state[e.table.name][self._np_index(e.table)]
+            idx = np.asarray(self._eval(e.index)).astype(int) - 1
+            if np.any((idx < 0) | (idx >= table.shape[0])):
+                raise InterpreterError("gather index out of bounds")
+            return table[idx]
+        raise InterpreterError(f"unknown expression {e!r}")
+
+
+def run_program(
+    program: A.Program, init: Mapping[str, np.ndarray] | None = None
+) -> dict[str, np.ndarray]:
+    """Execute ``program`` and return the final array state."""
+    return Interpreter(program, init).run()

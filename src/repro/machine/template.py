@@ -1,0 +1,60 @@
+"""Templates and processor grids.
+
+The template is the paper's conceptually infinite Cartesian grid of
+cells.  The machine simulator needs only a finite window of it — the
+cells actually occupied by objects — mapped onto a processor grid by a
+distribution (:mod:`repro.machine.distribution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Template:
+    """A t-dimensional template; ``extents`` bound the occupied window.
+
+    Cells outside the window are legal (the template is infinite);
+    distributions wrap or clamp as their policy dictates.
+    """
+
+    rank: int
+    extents: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.extents and len(self.extents) != self.rank:
+            raise ValueError("extents must match template rank")
+
+    @classmethod
+    def for_window(cls, extents: tuple[int, ...]) -> "Template":
+        return cls(len(extents), extents)
+
+
+@dataclass(frozen=True)
+class ProcessorGrid:
+    """A Cartesian grid of processors, one axis per template axis."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(p <= 0 for p in self.shape):
+            raise ValueError("processor counts must be positive")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_processors(self) -> int:
+        n = 1
+        for p in self.shape:
+            n *= p
+        return n
+
+    def linearize(self, coords: tuple[int, ...]) -> int:
+        """Row-major linear processor id."""
+        pid = 0
+        for c, p in zip(coords, self.shape):
+            pid = pid * p + (c % p)
+        return pid

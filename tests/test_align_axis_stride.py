@@ -1,0 +1,138 @@
+"""Unit tests for Section 3: axis and mobile stride alignment."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adg import build_adg
+from repro.adg.nodes import SubscriptSpec
+from repro.align import canonical_skeletons, solve_axis_stride
+from repro.align.axis_stride import (
+    _div_affine,
+    section_backward,
+    section_forward,
+    spread_backward,
+    spread_forward,
+    transpose_transform,
+)
+from repro.ir import LIV, AffineForm
+from repro.lang import parse
+from repro.lang import programs
+
+k = LIV("k", 0)
+
+
+class TestLabelTransforms:
+    def test_canonical_count(self):
+        assert len(canonical_skeletons(1, 2)) == 2
+        assert len(canonical_skeletons(2, 2)) == 2
+        assert len(canonical_skeletons(2, 3)) == 6
+
+    def test_transpose_involution(self):
+        for lab in canonical_skeletons(2, 2):
+            assert transpose_transform(transpose_transform(lab)) == lab
+
+    def test_section_forward_stride(self):
+        lab = canonical_skeletons(1, 1)[0]
+        subs = (SubscriptSpec("slice", lo=AffineForm(2), step=AffineForm(2)),)
+        out = section_forward(lab, subs)
+        assert out.axes[0].stride == AffineForm(2)
+
+    def test_section_forward_mobile_step(self):
+        lab = canonical_skeletons(1, 1)[0]
+        subs = (SubscriptSpec("slice", lo=AffineForm(1), step=AffineForm.variable(k)),)
+        out = section_forward(lab, subs)
+        assert out.axes[0].stride == AffineForm.variable(k)
+
+    def test_section_forward_index_drops(self):
+        lab = canonical_skeletons(2, 2)[0]
+        subs = (
+            SubscriptSpec("index", index=AffineForm.variable(k)),
+            SubscriptSpec("full"),
+        )
+        out = section_forward(lab, subs)
+        assert out.rank == 1
+        assert not out.axes[0].is_body
+
+    def test_section_backward_inverts_forward(self):
+        lab = canonical_skeletons(1, 1)[0]
+        subs = (SubscriptSpec("slice", lo=AffineForm(3), step=AffineForm(4)),)
+        sec = section_forward(lab, subs)
+        back = section_backward(sec, subs, 1)
+        assert back == lab
+
+    def test_div_affine(self):
+        assert _div_affine(AffineForm(0, {k: 2}), AffineForm.variable(k)) == AffineForm(2)
+        assert _div_affine(AffineForm(4), AffineForm(2)) == AffineForm(2)
+        assert _div_affine(AffineForm(1, {k: 2}), AffineForm.variable(k)) is None
+        assert _div_affine(AffineForm(1), AffineForm(0)) is None
+
+    def test_spread_roundtrip(self):
+        lab = canonical_skeletons(1, 2)[0]
+        outs = spread_forward(lab, dim=2)
+        assert len(outs) == 1
+        assert spread_backward(outs[0], dim=2) == lab
+
+
+class TestPaperExamples:
+    def test_example2_stride_alignment(self):
+        """Example 2: A at [2i], B at [i] avoids communication."""
+        adg = build_adg(programs.example2())
+        res = solve_axis_stride(adg)
+        assert res.cost == 0
+        strides = {}
+        for p in adg.ports():
+            if p.node.kind.name == "SOURCE":
+                strides[p.node.label] = res.of(p).axes[0].stride
+        assert strides["source(A)"] == AffineForm(2)
+        assert strides["source(B)"] == AffineForm(1)
+
+    def test_example3_axis_alignment(self):
+        """Example 3: C axis-swapped relative to B kills the transpose."""
+        adg = build_adg(programs.example3())
+        res = solve_axis_stride(adg)
+        assert res.cost == 0
+        sigs = {}
+        for p in adg.ports():
+            if p.node.kind.name == "SOURCE":
+                sigs[p.node.label] = res.of(p).axis_signature()
+        assert sigs["source(B)"] != sigs["source(C)"]
+
+    def test_example5_mobile_stride(self):
+        """Example 5: V gets the mobile stride [k*i]; cost halves."""
+        adg = build_adg(programs.example5())
+        res = solve_axis_stride(adg)
+        # one general communication per iteration boundary: 49 * 20
+        assert res.cost == 980
+        mobile = AffineForm(0, {k: 1})
+        found = False
+        for p in adg.ports():
+            if "merge(V" in p.uid:
+                assert res.of(p).axes[0].stride == mobile
+                found = True
+        assert found
+
+    def test_figure1_no_stride_cost(self):
+        adg = build_adg(programs.figure1())
+        assert solve_axis_stride(adg).cost == 0
+
+    def test_all_ports_labeled(self):
+        adg = build_adg(programs.figure1())
+        res = solve_axis_stride(adg)
+        for p in adg.ports():
+            lab = res.of(p)
+            assert lab.rank == p.rank
+
+    def test_integral_strides_only(self):
+        for name, fn in programs.ALL_PAPER_FRAGMENTS.items():
+            adg = build_adg(fn())
+            res = solve_axis_stride(adg)
+            for p in adg.ports():
+                for ax in res.of(p).axes:
+                    if ax.is_body:
+                        assert ax.stride.is_integral(), (name, p.uid)
+
+    def test_gather_table_free(self):
+        adg = build_adg(programs.lookup_table(n=16, m=8))
+        res = solve_axis_stride(adg)
+        assert res.cost == 0

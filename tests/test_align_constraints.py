@@ -1,0 +1,150 @@
+"""Unit tests for offset-relation emission (constraints.py)."""
+
+import pytest
+
+from repro.adg import NodeKind, build_adg
+from repro.align import solve_axis_stride
+from repro.align.constraints import (
+    EntryEval,
+    EqualShift,
+    LoopBack,
+    node_offset_relations,
+    section_shifts,
+)
+from repro.align.position import Alignment
+from repro.ir import LIV, AffineForm
+from repro.lang import parse
+from repro.lang import programs
+from repro.adg.nodes import SubscriptSpec
+
+k = LIV("k", 0)
+
+
+def relations_for(prog, node_pred):
+    adg = build_adg(prog)
+    skel = solve_axis_stride(adg).skeletons
+    for n in adg.nodes:
+        if node_pred(n):
+            return n, node_offset_relations(n, dict(skel)), adg, skel
+    raise AssertionError("node not found")
+
+
+class TestSectionShifts:
+    def test_full_slice_zero_shift(self):
+        a = Alignment.canonical(1, 1)
+        shifts = section_shifts(a, (SubscriptSpec("full"),))
+        assert shifts[0] == AffineForm(0)
+
+    def test_slice_shift_formula(self):
+        # lo=10, step=2, stride=1: shift = (10-2)*1 = 8
+        a = Alignment.canonical(1, 1)
+        spec = SubscriptSpec("slice", lo=AffineForm(10), step=AffineForm(2))
+        assert section_shifts(a, (spec,))[0] == AffineForm(8)
+
+    def test_slice_shift_scaled_by_stride(self):
+        from repro.align.position import AxisAlignment
+
+        a = Alignment((AxisAlignment(0, AffineForm(3), AffineForm(0)),))
+        spec = SubscriptSpec("slice", lo=AffineForm(5), step=AffineForm(1))
+        assert section_shifts(a, (spec,))[0] == AffineForm(12)  # (5-1)*3
+
+    def test_index_shift_mobile(self):
+        a = Alignment.canonical(2, 2)
+        spec_k = SubscriptSpec("index", index=AffineForm.variable(k))
+        spec_full = SubscriptSpec("full")
+        shifts = section_shifts(a, (spec_k, spec_full))
+        assert shifts[0] == AffineForm.variable(k)
+        assert shifts[1] == AffineForm(0)
+
+    def test_mobile_step_times_constant_stride(self):
+        a = Alignment.canonical(1, 1)
+        spec = SubscriptSpec("slice", lo=AffineForm(1), step=AffineForm.variable(k))
+        shifts = section_shifts(a, (spec,))
+        assert shifts[0] == AffineForm(1) - AffineForm.variable(k)
+
+    def test_double_mobile_rejected(self):
+        from repro.align.position import AxisAlignment
+
+        mobile_stride = Alignment(
+            (AxisAlignment(0, AffineForm.variable(k), AffineForm(0)),)
+        )
+        spec = SubscriptSpec("slice", lo=AffineForm(1), step=AffineForm.variable(k))
+        with pytest.raises(ValueError):
+            section_shifts(mobile_stride, (spec,))
+
+
+class TestNodeRelations:
+    def test_elementwise_identity(self):
+        n, rels, _, _ = relations_for(
+            programs.example1(), lambda n: n.kind is NodeKind.ELEMENTWISE
+        )
+        assert all(isinstance(r, EqualShift) and r.shift == AffineForm(0) for r in rels)
+        # one relation per (other port, axis)
+        assert len(rels) == 2  # two inputs, rank-1 template
+
+    def test_section_shift_relation(self):
+        n, rels, _, _ = relations_for(
+            parse("real A(100), B(90)\nB = A(11:100)"),
+            lambda n: n.kind is NodeKind.SECTION,
+        )
+        (rel,) = rels
+        assert isinstance(rel, EqualShift)
+        assert rel.shift == AffineForm(10)
+
+    def test_transformer_relations(self):
+        _, rels, _, _ = relations_for(
+            programs.figure1(), lambda n: n.label.startswith("entry(A")
+        )
+        assert all(isinstance(r, EntryEval) for r in rels)
+        assert all(r.value == 1 for r in rels)
+
+        _, rels, _, _ = relations_for(
+            programs.figure1(), lambda n: n.label.startswith("loopback(A")
+        )
+        assert all(isinstance(r, LoopBack) and r.step == 1 for r in rels)
+
+        _, rels, _, _ = relations_for(
+            programs.figure1(), lambda n: n.label.startswith("exit(A")
+        )
+        assert all(isinstance(r, EntryEval) and r.value == 100 for r in rels)
+
+    def test_source_sink_unconstrained(self):
+        _, rels, _, _ = relations_for(
+            programs.example1(), lambda n: n.kind is NodeKind.SOURCE
+        )
+        assert rels == []
+
+    def test_spread_frees_replication_axis(self):
+        n, rels, adg, skel = relations_for(
+            programs.figure4(), lambda n: n.kind is NodeKind.SPREAD
+        )
+        out = n.outputs()[0]
+        tau_star = skel[id(out)].template_axis_of(n.payload.dim - 1)
+        related_axes = {r.axis for r in rels}
+        assert tau_star not in related_axes
+        assert related_axes == {0}
+
+    def test_reduce_frees_reduced_axis(self):
+        n, rels, adg, skel = relations_for(
+            parse("real A(8,6), r(8)\nr = sum(A, dim=2)"),
+            lambda n: n.kind is NodeKind.REDUCE,
+        )
+        inp = n.inputs()[0]
+        tau_red = skel[id(inp)].template_axis_of(1)
+        assert tau_red not in {r.axis for r in rels}
+
+    def test_full_reduce_no_relations(self):
+        n, rels, _, _ = relations_for(
+            parse("real A(8), s(1)\ns(1:1) = A(1:1) + sum(A)"),
+            lambda n: n.kind is NodeKind.REDUCE,
+        )
+        assert rels == []
+
+    def test_gather_binds_index_not_table(self):
+        n, rels, adg, skel = relations_for(
+            programs.lookup_table(n=16, m=8), lambda n: n.kind is NodeKind.GATHER
+        )
+        ports = {p.name: p for p in n.ports}
+        for r in rels:
+            assert r.p is ports["index"]
+            assert r.q is ports["out"]

@@ -1,0 +1,77 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+FIG1 = """real A(64,64), V(128)
+do k = 1, 64
+  A(k,1:64) = A(k,1:64) + V(k:k+63)
+enddo
+"""
+
+
+@pytest.fixture
+def prog_file(tmp_path):
+    f = tmp_path / "fig1.dp"
+    f.write_text(FIG1)
+    return str(f)
+
+
+class TestCLI:
+    def test_basic_run(self, prog_file, capsys):
+        assert main([prog_file]) == 0
+        out = capsys.readouterr().out
+        assert "total realignment cost" in out
+
+    def test_algorithm_flag(self, prog_file, capsys):
+        assert main([prog_file, "--algorithm", "unrolling", "--no-replication"]) == 0
+        out = capsys.readouterr().out
+        assert "total realignment cost" in out
+
+    def test_static_flag_costs_more(self, prog_file, capsys):
+        main([prog_file, "--no-replication"])
+        mobile_out = capsys.readouterr().out
+        main([prog_file, "--no-replication", "--static"])
+        static_out = capsys.readouterr().out
+
+        def cost(text):
+            for line in text.splitlines():
+                if "total realignment cost" in line:
+                    return int(line.rsplit(" ", 1)[1])
+            raise AssertionError(text)
+
+        assert cost(static_out) > cost(mobile_out)
+
+    def test_dot_output(self, prog_file, tmp_path, capsys):
+        dot = tmp_path / "adg.dot"
+        assert main([prog_file, "--dot", str(dot)]) == 0
+        assert dot.read_text().startswith("digraph")
+
+    def test_measure(self, prog_file, capsys):
+        assert main([prog_file, "--no-replication", "--measure", "identity"]) == 0
+        out = capsys.readouterr().out
+        assert "machine (identity):" in out
+
+    def test_measure_block_with_procs(self, prog_file, capsys):
+        assert (
+            main(
+                [prog_file, "--no-replication", "--measure", "block", "--procs", "4,4"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "machine (block):" in out
+
+    def test_subprocess_invocation(self, prog_file):
+        res = subprocess.run(
+            [sys.executable, "-m", "repro", prog_file, "--m", "3"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert res.returncode == 0
+        assert "total realignment cost" in res.stdout

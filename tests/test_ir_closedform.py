@@ -1,0 +1,111 @@
+"""Unit tests for the sigma closed forms and weighted moments (Section 4.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import (
+    LIV,
+    AffineForm,
+    IterationSpace,
+    Polynomial,
+    Triplet,
+    average_index,
+    fixed_size_cost_closed_form,
+    sigma0,
+    sigma1,
+    sigma2,
+    weighted_moments,
+)
+
+k = LIV("k")
+j = LIV("j")
+
+TRIPLETS = [
+    Triplet(1, 100),
+    Triplet(2, 20, 3),
+    Triplet(5, 5),
+    Triplet(10, 1, -2),
+    Triplet(7, 50, 6),
+]
+
+
+@pytest.mark.parametrize("t", TRIPLETS)
+class TestSigmas:
+    def test_sigma0(self, t):
+        assert sigma0(t) == len(t)
+
+    def test_sigma1(self, t):
+        assert sigma1(t) == sum(t)
+
+    def test_sigma2(self, t):
+        assert sigma2(t) == sum(i * i for i in t)
+
+
+class TestAverageIndex:
+    def test_simple(self):
+        assert average_index(Triplet(1, 100)) == Fraction(101, 2)
+
+    def test_matches_mean(self):
+        t = Triplet(2, 20, 3)
+        vals = list(t)
+        assert average_index(t) == Fraction(sum(vals), len(vals))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_index(Triplet(2, 1))
+
+
+class TestWeightedMoments:
+    def test_constant_weight(self):
+        sp = IterationSpace.single(k, 1, 50)
+        m = weighted_moments(sp, Polynomial.constant(3))
+        assert m.m0 == 150
+        assert m.m1[k] == 3 * sum(range(1, 51))
+
+    def test_affine_weight(self):
+        sp = IterationSpace.single(k, 1, 20)
+        w = Polynomial.from_affine(AffineForm(2, {k: 5}))
+        m = weighted_moments(sp, w)
+        assert m.m0 == sum(2 + 5 * i for i in range(1, 21))
+        assert m.m1[k] == sum((2 + 5 * i) * i for i in range(1, 21))
+
+    def test_nested_space(self):
+        sp = IterationSpace.single(k, 1, 4).extended(j, Triplet(1, 3))
+        w = Polynomial.variable(k) * Polynomial.variable(j)
+        m = weighted_moments(sp, w)
+        brute0 = sum(ki * ji for ki in range(1, 5) for ji in range(1, 4))
+        brute_k = sum(ki * ji * ki for ki in range(1, 5) for ji in range(1, 4))
+        assert m.m0 == brute0
+        assert m.m1[k] == brute_k
+
+    def test_span_sum(self):
+        sp = IterationSpace.single(k, 1, 10)
+        m = weighted_moments(sp, Polynomial.constant(1))
+        # span = 3 - k summed over 1..10 = 30 - 55 = -25
+        assert m.span_sum(Fraction(3), {k: Fraction(-1)}) == -25
+
+    def test_unknown_liv_rejected(self):
+        sp = IterationSpace.single(k, 1, 10)
+        with pytest.raises(ValueError):
+            weighted_moments(sp, Polynomial.variable(j))
+
+
+class TestEquation3:
+    def test_no_crossing_exact(self):
+        # span = 2k + 1 on k=1..10, unit weight: sum |2k+1| = 2*55+10 = 120
+        t = Triplet(1, 10)
+        c = fixed_size_cost_closed_form(t, Fraction(2), Fraction(1))
+        assert c == 120
+
+    def test_sign_flip_symmetric(self):
+        # span = k - 5.5 over 1..10: closed form gives |sum| = 0 although
+        # the true cost is 25 — exactly the Figure 3(b) failure mode.
+        t = Triplet(1, 10)
+        c = fixed_size_cost_closed_form(t, Fraction(1), Fraction(-11, 2))
+        assert c == 0
+        true = sum(abs(Fraction(i) - Fraction(11, 2)) for i in t)
+        assert true == 25
+
+    def test_empty(self):
+        assert fixed_size_cost_closed_form(Triplet(2, 1), Fraction(1), Fraction(0)) == 0

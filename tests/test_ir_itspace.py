@@ -1,0 +1,125 @@
+"""Unit tests for triplets and iteration spaces."""
+
+import pytest
+
+from repro.ir import LIV, IterationSpace, Triplet
+
+k = LIV("k")
+j = LIV("j")
+
+
+class TestTriplet:
+    def test_count_forward(self):
+        assert len(Triplet(1, 10)) == 10
+        assert len(Triplet(1, 10, 3)) == 4  # 1,4,7,10
+        assert len(Triplet(2, 1)) == 0
+
+    def test_count_backward(self):
+        assert len(Triplet(10, 1, -1)) == 10
+        assert len(Triplet(10, 1, -4)) == 3  # 10,6,2
+        assert len(Triplet(1, 2, -1)) == 0
+
+    def test_iteration_matches_count(self):
+        for t in [Triplet(1, 10), Triplet(2, 17, 3), Triplet(9, -3, -4)]:
+            assert len(list(t)) == len(t)
+
+    def test_contains(self):
+        t = Triplet(2, 20, 3)
+        assert 5 in t and 20 in t
+        assert 6 not in t and 23 not in t
+
+    def test_last_and_normalized(self):
+        t = Triplet(1, 10, 4)  # 1,5,9
+        assert t.last == 9
+        assert t.normalized() == Triplet(1, 9, 4)
+
+    def test_last_empty_raises(self):
+        with pytest.raises(ValueError):
+            Triplet(2, 1).last
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            Triplet(1, 5, 0)
+
+    def test_value_at(self):
+        t = Triplet(3, 30, 3)
+        assert t.value_at(0) == 3
+        assert t.value_at(9) == 30
+        with pytest.raises(IndexError):
+            t.value_at(10)
+
+
+class TestTripletSplit:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5, 100])
+    def test_split_covers_in_order(self, m):
+        t = Triplet(1, 17, 2)
+        parts = t.split(m)
+        flat = [v for part in parts for v in part]
+        assert flat == list(t)
+        assert len(parts) == min(m, len(t))
+
+    def test_split_sizes_balanced(self):
+        parts = Triplet(1, 10).split(3)
+        sizes = [len(p) for p in parts]
+        assert sizes == [4, 3, 3]
+
+    def test_split_at(self):
+        t = Triplet(1, 10)
+        l, r = t.split_at(4)
+        assert list(l) == [1, 2, 3, 4]
+        assert list(r) == [5, 6, 7, 8, 9, 10]
+
+    def test_split_at_ends(self):
+        t = Triplet(1, 5)
+        l, r = t.split_at(0)
+        assert l.is_empty() and list(r) == [1, 2, 3, 4, 5]
+        l, r = t.split_at(5)
+        assert list(l) == [1, 2, 3, 4, 5] and r.is_empty()
+
+    def test_split_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            Triplet(1, 5).split(0)
+
+
+class TestIterationSpace:
+    def test_scalar_space(self):
+        s = IterationSpace.scalar()
+        assert s.count == 1
+        assert list(s.points()) == [{}]
+
+    def test_single(self):
+        s = IterationSpace.single(k, 1, 5)
+        assert s.count == 5
+        assert [env[k] for env in s.points()] == [1, 2, 3, 4, 5]
+
+    def test_nested_points(self):
+        s = IterationSpace.single(k, 1, 2).extended(j, Triplet(1, 3))
+        pts = list(s.points())
+        assert len(pts) == 6
+        assert pts[0] == {k: 1, j: 1}
+        assert pts[-1] == {k: 2, j: 3}
+
+    def test_extended_duplicate_raises(self):
+        s = IterationSpace.single(k, 1, 2)
+        with pytest.raises(ValueError):
+            s.extended(k, Triplet(1, 3))
+
+    def test_restricted(self):
+        s = IterationSpace.single(k, 1, 10).restricted(k, Triplet(3, 5))
+        assert s.count == 3
+
+    def test_grid_partition_depth2(self):
+        s = IterationSpace.single(k, 1, 9).extended(j, Triplet(1, 9))
+        parts = s.grid_partition(3)
+        assert len(parts) == 9
+        assert sum(p.count for p in parts) == 81
+
+    def test_grid_partition_scalar(self):
+        s = IterationSpace.scalar()
+        assert s.grid_partition(3) == [s]
+
+    def test_triplet_of(self):
+        s = IterationSpace.single(k, 1, 5)
+        assert s.triplet_of(k) == Triplet(1, 5)
+        with pytest.raises(KeyError):
+            s.triplet_of(j)

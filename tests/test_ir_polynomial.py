@@ -1,0 +1,108 @@
+"""Unit tests for polynomials and Faulhaber power sums."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ir import LIV, AffineForm, Polynomial, sum_powers
+
+k = LIV("k")
+j = LIV("j")
+
+
+class TestSumPowers:
+    @pytest.mark.parametrize("n", [0, 1, 2, 5, 17])
+    @pytest.mark.parametrize("p", [0, 1, 2, 3, 4, 7])
+    def test_matches_bruteforce(self, n, p):
+        assert sum_powers(n, p) == sum(Fraction(t) ** p for t in range(n))
+
+    def test_negative_n(self):
+        assert sum_powers(-3, 2) == 0
+
+
+class TestArithmetic:
+    def test_from_affine(self):
+        p = Polynomial.from_affine(AffineForm(2, {k: 3}))
+        assert p.evaluate({k: 4}) == 14
+        assert p.degree() == 1
+
+    def test_mul_degree(self):
+        p = Polynomial.from_affine(AffineForm(0, {k: 1}))
+        q = p * p
+        assert q.degree() == 2
+        assert q.evaluate({k: 5}) == 25
+
+    def test_cross_variable_product(self):
+        p = Polynomial.variable(k) * Polynomial.variable(j)
+        assert p.evaluate({k: 3, j: 4}) == 12
+        assert p.degree() == 2
+
+    def test_add_sub(self):
+        p = Polynomial.variable(k) + 3
+        q = p - Polynomial.variable(k)
+        assert q == 3
+
+    def test_pow(self):
+        p = (Polynomial.variable(k) + 1) ** 3
+        assert p.evaluate({k: 2}) == 27
+
+    def test_pow_negative_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable(k) ** -1
+
+    def test_as_affine_roundtrip(self):
+        f = AffineForm(5, {k: -2})
+        assert Polynomial.from_affine(f).as_affine() == f
+
+    def test_as_affine_degree2_raises(self):
+        with pytest.raises(ValueError):
+            (Polynomial.variable(k) ** 2).as_affine()
+
+
+class TestSubstitution:
+    def test_substitute_affine(self):
+        p = Polynomial.variable(k) ** 2
+        q = p.substitute({k: AffineForm(1, {j: 1})})  # (j+1)^2
+        assert q.evaluate({j: 3}) == 16
+
+    def test_substitute_polynomial(self):
+        p = Polynomial.variable(k) + 1
+        q = p.substitute({k: Polynomial.variable(j) ** 2})
+        assert q.evaluate({j: 3}) == 10
+
+
+class TestSumOver:
+    @pytest.mark.parametrize(
+        "lo,hi,step",
+        [(1, 10, 1), (2, 20, 3), (5, 5, 1), (10, 1, -2), (1, 0, 1)],
+    )
+    def test_degree2_sum(self, lo, hi, step):
+        p = Polynomial.variable(k) ** 2 + Polynomial.variable(k) * 2 + 1
+        expect = sum(v * v + 2 * v + 1 for v in _triplet(lo, hi, step))
+        got = p.sum_over(k, lo, hi, step)
+        assert got.is_constant
+        assert got.const == expect
+
+    def test_sum_keeps_other_vars(self):
+        p = Polynomial.variable(k) * Polynomial.variable(j)
+        s = p.sum_over(k, 1, 4)  # 10 * j
+        assert s.evaluate({j: 3}) == 30
+        assert k not in s.livs()
+
+    def test_zero_step_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable(k).sum_over(k, 1, 5, 0)
+
+
+def _triplet(lo, hi, step):
+    vals = []
+    v = lo
+    if step > 0:
+        while v <= hi:
+            vals.append(v)
+            v += step
+    else:
+        while v >= hi:
+            vals.append(v)
+            v += step
+    return vals

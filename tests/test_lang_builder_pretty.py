@@ -1,0 +1,136 @@
+"""Unit tests for the DSL builder and the pretty-printer round-trip."""
+
+import pytest
+
+from repro.lang import (
+    ProgramBuilder,
+    cos,
+    gather,
+    parse,
+    pretty,
+    spread,
+    sum_,
+    transpose,
+    typecheck,
+)
+from repro.lang import programs
+
+
+class TestBuilder:
+    def test_figure1_equivalent(self):
+        b = ProgramBuilder("fig1")
+        A = b.real("A", 100, 100)
+        V = b.real("V", 200)
+        with b.do("k", 1, 100) as k:
+            b.assign(A[k, 1:100], A[k, 1:100] + V[k : k + 99])
+        built = pretty(b.build())
+        parsed = pretty(programs.figure1())
+        assert built == parsed
+
+    def test_operator_overloads(self):
+        b = ProgramBuilder()
+        A = b.real("A", 8)
+        B = b.real("B", 8)
+        b.assign(A, 2 * B - 1)
+        b.assign(A, -B / 2)
+        p = b.build()
+        typecheck(p)
+        assert "2 * B - 1" in pretty(p)
+
+    def test_full_slice(self):
+        b = ProgramBuilder()
+        A = b.real("A", 4, 6)
+        B = b.real("B", 6)
+        b.assign(A[2, :], B)
+        p = b.build()
+        typecheck(p)
+        assert "A(2,:)" in pretty(p)
+
+    def test_intrinsics(self):
+        b = ProgramBuilder()
+        t = b.real("t", 4)
+        B = b.real("B", 4, 6)
+        r = b.real("r", 4)
+        b.assign(t, cos(t))
+        b.assign(B, spread(t, dim=2, ncopies=6))
+        b.assign(r, sum_(B, dim=2))
+        typecheck(b.build())
+
+    def test_transpose(self):
+        b = ProgramBuilder()
+        B = b.real("B", 4, 4)
+        C = b.real("C", 4, 4)
+        b.assign(B, B + transpose(C))
+        typecheck(b.build())
+
+    def test_gather(self):
+        b = ProgramBuilder()
+        T = b.real("T", 16, readonly=True, replicate_hint=True)
+        idx = b.integer("idx", 5)
+        y = b.real("y", 5)
+        b.assign(y[1:5], gather(T, idx[1:5]))
+        typecheck(b.build())
+
+    def test_if_blocks(self):
+        b = ProgramBuilder()
+        A = b.real("A", 8)
+        with b.if_("converged", prob=0.25) as branch:
+            b.assign(A, A + 1)
+            with branch.otherwise():
+                b.assign(A, A - 1)
+        p = b.build()
+        s = p.body[0]
+        assert s.prob == 0.25
+        assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+    def test_shadowing_rejected(self):
+        b = ProgramBuilder()
+        b.real("A", 4)
+        with pytest.raises(ValueError):
+            with b.do("k", 1, 2):
+                with b.do("k", 1, 2):
+                    pass
+
+    def test_open_slice_rejected(self):
+        b = ProgramBuilder()
+        A = b.real("A", 8)
+        with pytest.raises(ValueError):
+            A[1:]  # missing hi
+
+    def test_assign_to_expression_rejected(self):
+        b = ProgramBuilder()
+        A = b.real("A", 8)
+        with pytest.raises(TypeError):
+            b.assign(A + 1, A)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(programs.ALL_PAPER_FRAGMENTS))
+    def test_paper_fragments(self, name):
+        p = programs.ALL_PAPER_FRAGMENTS[name]()
+        text = pretty(p)
+        assert pretty(parse(text)) == text
+
+    @pytest.mark.parametrize(
+        "gen",
+        [
+            programs.stencil_sweep,
+            programs.skewed_wavefront,
+            programs.triangular_sections,
+            programs.doubly_nested,
+            programs.conditional_update,
+        ],
+    )
+    def test_generators(self, gen):
+        p = gen()
+        text = pretty(p)
+        assert pretty(parse(text)) == text
+
+    def test_negative_step_roundtrip(self):
+        src = "real A(10)\ndo k = 10, 1, -2\n  A(k) = 1\nenddo\n"
+        assert pretty(parse(src)) == src
+
+    def test_attributes_roundtrip(self):
+        src = "readonly replicated real T(256)\n"
+        p = parse(src)
+        assert pretty(p) == src

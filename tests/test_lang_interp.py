@@ -1,0 +1,136 @@
+"""Unit tests for the numpy reference interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.lang import parse
+from repro.lang import programs
+from repro.machine import InterpreterError, run_program
+
+
+class TestBasics:
+    def test_fill(self):
+        st = run_program(parse("real A(5)\nA = 3"))
+        assert np.allclose(st["A"], 3)
+
+    def test_section_assign(self):
+        st = run_program(parse("real A(6)\nA = 1\nA(2:4) = 9"))
+        assert list(st["A"]) == [1, 9, 9, 9, 1, 1]
+
+    def test_strided_section(self):
+        st = run_program(parse("real A(10)\nA = 0\nA(1:9:2) = 1"))
+        assert list(st["A"]) == [1, 0, 1, 0, 1, 0, 1, 0, 1, 0]
+
+    def test_elementwise(self):
+        st = run_program(
+            parse("real A(4), B(4), C(4)\nB = 2\nC = 3\nA = B * C + 1")
+        )
+        assert np.allclose(st["A"], 7)
+
+    def test_offset_example1(self):
+        p = programs.example1(n=6)
+        a = np.arange(6, dtype=float)
+        b = np.arange(10, 16, dtype=float)
+        st = run_program(p, init={"A": a.copy(), "B": b})
+        expect = a.copy()
+        expect[0:5] = a[0:5] + b[1:6]
+        assert np.allclose(st["A"], expect)
+
+    def test_transpose(self):
+        c = np.arange(16, dtype=float).reshape(4, 4)
+        st = run_program(programs.example3(n=4), init={"B": np.zeros((4, 4)), "C": c})
+        assert np.allclose(st["B"], c.T)
+
+    def test_spread_figure4(self):
+        p = parse(
+            "real t(3), B(3,4)\nB = B + spread(t, dim=2, ncopies=4)"
+        )
+        t = np.array([1.0, 2.0, 3.0])
+        st = run_program(p, init={"t": t, "B": np.zeros((3, 4))})
+        assert np.allclose(st["B"], np.repeat(t[:, None], 4, axis=1))
+
+    def test_reduce_dim(self):
+        p = parse("real A(3,4), r(3)\nr = sum(A, dim=2)")
+        a = np.arange(12, dtype=float).reshape(3, 4)
+        st = run_program(p, init={"A": a, "r": np.zeros(3)})
+        assert np.allclose(st["r"], a.sum(axis=1))
+
+    def test_do_loop_semantics(self):
+        p = parse("real A(5)\ndo k = 1, 5\nA(k) = 2 * k\nenddo")
+        st = run_program(p)
+        assert list(st["A"]) == [2, 4, 6, 8, 10]
+
+    def test_negative_step_loop(self):
+        p = parse("real A(5)\nA = 0\ndo k = 5, 1, -2\nA(k) = k\nenddo")
+        st = run_program(p)
+        assert list(st["A"]) == [1, 0, 3, 0, 5]
+
+    def test_gather(self):
+        p = parse(
+            "readonly real T(4)\ninteger idx(3)\nreal y(3)\n"
+            "y = gather(T, idx(1:3))"
+        )
+        st = run_program(
+            p, init={"T": np.array([10.0, 20, 30, 40]), "idx": np.array([3.0, 1, 4])}
+        )
+        assert list(st["y"]) == [30, 10, 40]
+
+    def test_if_default_true(self):
+        p = parse("real A(2)\nif (anything) then\nA = 1\nelse\nA = 2\nendif")
+        assert np.allclose(run_program(p)["A"], 1)
+
+    def test_if_false_literal(self):
+        p = parse("real A(2)\nif (false) then\nA = 1\nelse\nA = 2\nendif")
+        assert np.allclose(run_program(p)["A"], 2)
+
+
+class TestErrors:
+    def test_bad_init_shape(self):
+        with pytest.raises(InterpreterError):
+            run_program(parse("real A(5)"), init={"A": np.zeros(4)})
+
+    def test_index_out_of_bounds_dynamic(self):
+        p = parse("real A(5)\ndo k = 1, 6\nA(k) = 1\nenddo")
+        with pytest.raises(InterpreterError):
+            run_program(p)
+
+    def test_gather_out_of_bounds(self):
+        p = parse(
+            "readonly real T(2)\ninteger idx(1)\nreal y(1)\ny = gather(T, idx(1:1))"
+        )
+        with pytest.raises(InterpreterError):
+            run_program(p, init={"idx": np.array([5.0])})
+
+
+class TestPaperPrograms:
+    def test_figure1_semantics(self):
+        n = 8
+        p = programs.figure1(n=n)
+        a0 = np.random.default_rng(1).random((n, n))
+        v0 = np.random.default_rng(2).random(2 * n)
+        st = run_program(p, init={"A": a0.copy(), "V": v0})
+        a = a0.copy()
+        for k in range(1, n + 1):
+            a[k - 1, :] += v0[k - 1 : k - 1 + n]
+        assert np.allclose(st["A"], a)
+
+    def test_example5_semantics(self):
+        p = programs.example5(iters=4, m=3)
+        a0 = np.random.default_rng(3).random(12)
+        st = run_program(p, init={"A": a0, "B": np.zeros(12), "V": np.zeros(3)})
+        a, b, v = a0.copy(), np.zeros(12), np.zeros(3)
+        for k in range(1, 5):
+            v = v + a[0 : 3 * k : k]
+            b[0 : 3 * k : k] = v
+        assert np.allclose(st["B"], b)
+
+    def test_figure4_semantics(self):
+        p = programs.figure4(nt=4, nk=3)
+        t0 = np.random.default_rng(4).random(4)
+        st = run_program(p, init={"t": t0.copy(), "B": np.zeros((4, 3))})
+        t, b = t0.copy(), np.zeros((4, 3))
+        for _ in range(3):
+            t = np.cos(t)
+            b = b + np.repeat(t[:, None], 3, axis=1)
+        assert np.allclose(st["B"], b)
+        assert np.allclose(st["t"], t)

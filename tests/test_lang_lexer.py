@@ -1,0 +1,74 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind not in ("newline", "eof")]
+
+
+class TestTokens:
+    def test_declaration(self):
+        toks = kinds("real A(100,100)")
+        assert toks[0] == ("kw", "real")
+        assert toks[1] == ("ident", "A")
+        assert ("int", "100") in toks
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("DO k = 1, 5")[0] == ("kw", "do")
+        assert kinds("EndDo")[0] == ("kw", "enddo")
+
+    def test_identifiers_preserve_case(self):
+        assert ("ident", "Vec_1") in kinds("Vec_1 = Vec_1")
+
+    def test_operators_maximal_munch(self):
+        toks = kinds("a ** b == c /= d <= e >= f")
+        ops = [t for k, t in toks if k == "op"]
+        assert ops == ["**", "==", "/=", "<=", ">="]
+
+    def test_triplet_colons(self):
+        toks = kinds("A(1:100:2)")
+        assert ([t for k, t in toks if t == ":"]) == [":", ":"]
+
+    def test_comments_stripped(self):
+        toks = kinds("x = 1 ! this is a comment")
+        assert all("comment" not in t for _, t in toks)
+        assert toks[-1] == ("int", "1")
+
+    def test_floats(self):
+        toks = kinds("x = 1.5 + 2e3 + 3.25e-1")
+        floats = [t for k, t in toks if k == "float"]
+        assert floats == ["1.5", "2e3", "3.25e-1"]
+
+    def test_fortran_d_exponent(self):
+        toks = kinds("x = 1.5d0")
+        assert ("float", "1.5e0") in toks
+
+    def test_newlines_terminate_statements(self):
+        toks = tokenize("a = 1\nb = 2")
+        newlines = [t for t in toks if t.kind == "newline"]
+        assert len(newlines) == 2
+
+    def test_positions(self):
+        toks = tokenize("  foo")
+        assert toks[0].line == 1
+        assert toks[0].col == 3
+
+    def test_unexpected_char(self):
+        with pytest.raises(LexError):
+            tokenize("a = @")
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("a = 1")[-1].kind == "eof"
+
+    def test_number_then_colon(self):
+        # '1:100' must not lex '1:' as a malformed float
+        toks = kinds("A(1:100)")
+        assert ("int", "1") in toks and ("int", "100") in toks
+
+    def test_double_dot_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("x = 1.2.3")

@@ -1,0 +1,188 @@
+"""Unit tests for shape/binding analysis and section extents."""
+
+import pytest
+
+from repro.ir import LIV, AffineForm, Triplet
+from repro.lang import TypeError_, parse, typecheck
+from repro.lang.typecheck import section_extent
+
+k = LIV("k", 0)
+
+
+def shapes_of(src, pick):
+    p = parse(src)
+    info = typecheck(p)
+    from repro.lang import ast as A
+
+    for s in A.walk_stmts(p.body):
+        if isinstance(s, A.Assign):
+            for e in A.walk_exprs(s.rhs):
+                if pick(e):
+                    return info.shape_of(e)
+    raise AssertionError("expression not found")
+
+
+class TestShapes:
+    def test_whole_array(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of("real A(10,20), B(10,20)\nB = A", lambda e: isinstance(e, A.Ref) and e.name == "A")
+        assert sh == (AffineForm(10), AffineForm(20))
+
+    def test_section_shape(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of(
+            "real A(100), B(50)\nB = A(2:100:2)",
+            lambda e: isinstance(e, A.Ref) and e.subscripts,
+        )
+        assert sh == (AffineForm(50),)
+
+    def test_index_drops_axis(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of(
+            "real A(10,20), B(20)\nB = A(3,1:20)",
+            lambda e: isinstance(e, A.Ref) and e.subscripts,
+        )
+        assert sh == (AffineForm(20),)
+
+    def test_transpose_swaps(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of(
+            "real A(10,20), B(20,10)\nB = transpose(A)",
+            lambda e: isinstance(e, A.Transpose),
+        )
+        assert sh == (AffineForm(20), AffineForm(10))
+
+    def test_spread_inserts(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of(
+            "real t(4), B(4,6)\nB = t + 0 * spread(t, dim=2, ncopies=6)"
+            if False
+            else "real t(4), B(4,6)\nB = spread(t, dim=2, ncopies=6)",
+            lambda e: isinstance(e, A.Spread),
+        )
+        assert sh == (AffineForm(4), AffineForm(6))
+
+    def test_reduce_removes(self):
+        from repro.lang import ast as A
+
+        sh = shapes_of(
+            "real A(4,6), r(4)\nr = sum(A, dim=2)",
+            lambda e: isinstance(e, A.Reduce),
+        )
+        assert sh == (AffineForm(4),)
+
+
+class TestErrors:
+    def test_undeclared(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10)\nA = Z"))
+
+    def test_nonconformable(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10), B(20)\nA = B"))
+
+    def test_wrong_subscript_count(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10,10)\nA(3) = 0"))
+
+    def test_constant_index_out_of_bounds(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10)\nA(11) = 0"))
+
+    def test_unbound_liv(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10)\nA(k) = 0"))
+
+    def test_shadowed_liv(self):
+        with pytest.raises(TypeError_):
+            typecheck(
+                parse("real A(9,9)\ndo k = 1, 9\ndo k = 1, 9\nA(k,k) = 0\nenddo\nenddo")
+            )
+
+    def test_liv_colliding_with_array(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10)\ndo A = 1, 5\nenddo"))
+
+    def test_assign_to_readonly(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("readonly real T(10)\nT(1) = 0"))
+
+    def test_transpose_rank1_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(10), B(10)\nB = transpose(A)"))
+
+    def test_spread_dim_out_of_range(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real t(4), B(4,6)\nB = spread(t, dim=5, ncopies=6)"))
+
+    def test_reduce_dim_out_of_range(self):
+        with pytest.raises(TypeError_):
+            typecheck(parse("real A(4,6), r(4)\nr = sum(A, dim=3)"))
+
+
+class TestSectionExtent:
+    def test_constant_step_exact(self):
+        ext = section_extent(AffineForm(2), AffineForm(100), AffineForm(2), {})
+        assert ext == AffineForm(50)
+
+    def test_affine_bounds_constant_step(self):
+        # V(k : k+99): extent 100 for every k
+        lo = AffineForm.variable(k)
+        hi = AffineForm(99, {k: 1})
+        ext = section_extent(lo, hi, AffineForm(1), {"k": Triplet(1, 100)})
+        assert ext == AffineForm(100)
+
+    def test_liv_step_constant_count(self):
+        # A(1:20k:k): 20 elements for every k in 1..50
+        lo = AffineForm(1)
+        hi = AffineForm(0, {k: 20})
+        step = AffineForm.variable(k)
+        ext = section_extent(lo, hi, step, {"k": Triplet(1, 50)})
+        assert ext == AffineForm(20)
+
+    def test_growing_extent(self):
+        # B(1 : 8k): extent 8k, affine in k
+        ext = section_extent(
+            AffineForm(1), AffineForm(0, {k: 8}), AffineForm(1), {"k": Triplet(1, 10)}
+        )
+        assert ext == AffineForm(0, {k: 8})
+
+    def test_floor_constant_correction(self):
+        # 1 : 2k+1 : 2 -> elements 1,3,..,2k+1: extent k+1
+        ext = section_extent(
+            AffineForm(1),
+            AffineForm(1, {k: 2}),
+            AffineForm(2),
+            {"k": Triplet(1, 10)},
+        )
+        assert ext == AffineForm(1, {k: 1})
+
+    def test_nonaffine_rejected(self):
+        # 1 : k*k not expressible -> reject via varying count
+        lo = AffineForm(1)
+        hi = AffineForm.variable(k)
+        step = AffineForm.variable(k)  # count = floor((k-1)/k)+1: 1 for k=1? varies
+        with pytest.raises(TypeError_):
+            # hi - lo = k - 1; step k: count = floor((k-1)/k) + 1 = 1 for all k>=1
+            # so use a genuinely varying case: hi = 3k, step 2
+            section_extent(
+                AffineForm(1), AffineForm(0, {k: 3}), AffineForm(2), {"k": Triplet(1, 4)}
+            )
+
+    def test_unknown_liv_range(self):
+        # Step 2 with non-integral symbolic quotient needs the LIV range;
+        # with none supplied, the extent is not computable.
+        with pytest.raises(TypeError_):
+            section_extent(
+                AffineForm(1), AffineForm.variable(k), AffineForm(2), {}
+            )
+
+    def test_symbolic_extent_without_range(self):
+        # (k - 1)/1 + 1 = k is affine without needing the range.
+        ext = section_extent(AffineForm(1), AffineForm.variable(k), AffineForm(1), {})
+        assert ext == AffineForm.variable(k)

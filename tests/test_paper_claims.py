@@ -1,0 +1,164 @@
+"""Integration tests: every quantitative claim in the paper, end to end.
+
+Each test cites the paper location it reproduces; EXPERIMENTS.md points
+back here.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.adg import build_adg
+from repro.align import align_program, solve_axis_stride
+from repro.align.offset_mobile import fixed_partitioning, unrolling
+from repro.lang import programs
+from repro.machine import measure_plan
+
+
+class TestExample1:
+    """Section 2.1 Example 1: offsets A at [i], B at [i-1] remove the
+    nearest-neighbour shift."""
+
+    def test_zero_cost_and_relative_offset(self):
+        plan = align_program(programs.example1())
+        assert plan.total_cost == 0
+        src = plan.source_alignments()
+        assert src["B"].axes[0].offset - src["A"].axes[0].offset == -1
+
+
+class TestExample2:
+    """Example 2: strides A at [2i], B at [i] avoid general comm."""
+
+    def test_zero_cost_and_stride_ratio(self):
+        plan = align_program(programs.example2())
+        assert plan.total_cost == 0
+        src = plan.source_alignments()
+        sa = src["A"].axes[0].stride
+        sb = src["B"].axes[0].stride
+        assert sa == sb * 2
+
+
+class TestExample3:
+    """Example 3: C axis-reversed relative to B removes the transpose."""
+
+    def test_zero_cost_and_swapped_axes(self):
+        plan = align_program(programs.example3())
+        assert plan.total_cost == 0
+        src = plan.source_alignments()
+        assert src["B"].axis_signature() != src["C"].axis_signature()
+
+
+class TestExample4Figure1:
+    """Example 4 / Figure 1: mobile offset V(i) at [k, i-k+1]."""
+
+    def test_mobile_alignment_exact(self):
+        from repro.ir import LIV, AffineForm
+
+        k = LIV("k", 0)
+        adg = build_adg(programs.figure1())
+        skel = solve_axis_stride(adg).skeletons
+        res = unrolling(adg, skel)
+        for p in adg.ports():
+            if "merge(V" in p.uid:
+                assert res.offsets[(id(p), 0)] == AffineForm.variable(k)
+                assert res.offsets[(id(p), 1)] == AffineForm(1, {k: -1})
+
+    def test_mobile_vs_static_factor(self):
+        static = align_program(programs.figure1(), replication=False, mobile=False)
+        mobile = align_program(programs.figure1(), replication=False)
+        assert mobile.total_cost == 39600
+        assert static.total_cost / mobile.total_cost > 10
+
+
+class TestExample5:
+    """Example 5: mobile stride halves general communication (2 -> 1
+    per iteration)."""
+
+    def test_cost_is_one_comm_per_iteration(self):
+        adg = build_adg(programs.example5())
+        res = solve_axis_stride(adg)
+        assert res.cost == 980  # 20 elements x 49 loop-back realignments
+
+
+class TestFigure3ErrorBound:
+    """Section 4.2: approximation within (1 + 2/m^2); at most one
+    subrange per edge contains a zero crossing after refinement."""
+
+    @pytest.mark.parametrize("m,bound", [(3, 1 + 2 / 9), (5, 1 + 2 / 25), (10, 1.02)])
+    def test_bound_on_wavefront(self, m, bound):
+        adg = build_adg(programs.figure1(n=40))
+        skel = solve_axis_stride(adg).skeletons
+        exact = unrolling(adg, skel)
+        approx = fixed_partitioning(adg, skel, m=m)
+        assert approx.cost <= exact.cost * bound + 1e-9
+
+    def test_error_decreases_with_m(self):
+        adg = build_adg(programs.skewed_wavefront(n=24))
+        skel = solve_axis_stride(adg).skeletons
+        costs = [fixed_partitioning(adg, skel, m=m).cost for m in (1, 2, 3, 5)]
+        assert costs[-1] <= costs[0]
+        assert costs[-2] <= costs[0]
+
+
+class TestFigure4:
+    """Figure 4: replicate t -> one broadcast at loop entry instead of
+    one per iteration."""
+
+    def test_cost_ratio_is_iteration_count(self):
+        with_rep = align_program(programs.figure4())
+        without = align_program(programs.figure4(), replication=False)
+        assert with_rep.total_cost == 100
+        assert without.total_cost == 200 * 100
+
+
+class TestTheorem1:
+    """Theorem 1: the min-cut labeling is optimal (see
+    test_align_replication.TestEndToEnd.test_cut_optimality_vs_exhaustive
+    for the brute-force cross-check)."""
+
+    def test_cut_never_worse_than_all_n_or_all_r_baselines(self):
+        from repro.align import label_replication
+        from repro.ir import weighted_moments
+
+        program = programs.figure4()
+        adg = build_adg(program)
+        skel = solve_axis_stride(adg).skeletons
+        rep = label_replication(adg, skel, program)
+        # all-N baseline: every forced-R edge broadcast per iteration
+        minimal = label_replication(adg, skel, program, minimal=True)
+
+        def broadcast_cost(labels):
+            total = Fraction(0)
+            for e in adg.edges:
+                for axis in range(adg.template_rank):
+                    lu = labels.get((id(e.tail), axis), "N")
+                    lv = labels.get((id(e.head), axis), "N")
+                    if lu == "N" and lv == "R":
+                        total += weighted_moments(e.space, e.weight).m0
+                        break
+            return total
+
+        assert broadcast_cost(rep.labels) <= broadcast_cost(minimal.labels)
+
+
+class TestEquation1Validation:
+    """Section 2.3: the cost model is operational — the machine simulator
+    under the identity distribution reproduces equation 1 exactly."""
+
+    @pytest.mark.parametrize(
+        "prog,kwargs",
+        [
+            (programs.figure1(n=12), dict(replication=False)),
+            (programs.example1(n=24), {}),
+            (programs.example2(n=16), {}),
+            (programs.stencil_sweep(n=16, iters=2), dict(replication=False)),
+            (programs.skewed_wavefront(n=8), dict(replication=False)),
+        ],
+        ids=["figure1", "example1", "example2", "stencil", "wavefront"],
+    )
+    def test_hops_equal_analytic(self, prog, kwargs):
+        plan = align_program(prog, **kwargs)
+        rep = measure_plan(plan, scheme="identity")
+        nongeneral = all(not t.count.general for t in rep.edges)
+        if nongeneral:
+            assert rep.hop_cost == plan.total_cost

@@ -1,0 +1,128 @@
+"""Unit tests for the compact-DP discrete labeling engine."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.solvers import DiscreteLabelingProblem
+
+
+def chain(labels_per_node, weights):
+    p = DiscreteLabelingProblem()
+    for i, cands in enumerate(labels_per_node):
+        p.add_node(i, cands)
+    for i, w in enumerate(weights):
+        p.add_edge(i, i + 1, w)
+    return p
+
+
+class TestTreeDP:
+    def test_chain_prefers_agreement(self):
+        p = chain([[1, 2], [1, 2], [1, 2]], [5, 5])
+        r = p.solve_tree()
+        assert r.cost == 0
+        assert len(set(r.labels.values())) == 1
+
+    def test_pinned_endpoints_conflict(self):
+        p = chain([[1], [1, 2], [2]], [3, 7])
+        r = p.solve_tree()
+        # must pay the cheaper of the two edges
+        assert r.cost == 3
+        assert r.labels[1] == 2  # agree with the heavier edge
+
+    def test_star_majority(self):
+        p = DiscreteLabelingProblem()
+        p.add_node("hub", ["a", "b"])
+        for i, (lab, w) in enumerate([("a", 1), ("a", 1), ("b", 5)]):
+            p.add_node(i, [lab])
+            p.add_edge("hub", i, w)
+        r = p.solve_tree()
+        assert r.labels["hub"] == "b"
+        assert r.cost == 2
+
+    def test_relation_edge(self):
+        p = DiscreteLabelingProblem()
+        p.add_node("x", [1, 2])
+        p.add_node("y", [2, 4])
+        p.add_edge("x", "y", 10, relation=lambda v: v * 2)
+        r = p.solve_tree()
+        assert r.cost == 0
+        assert r.labels["y"] == r.labels["x"] * 2
+
+    def test_predicate_edge(self):
+        p = DiscreteLabelingProblem()
+        p.add_node("x", [1, 2, 3])
+        p.add_node("y", [3, 5])
+        p.add_edge("x", "y", 10, predicate=lambda a, b: a + b == 5)
+        r = p.solve_tree()
+        assert r.cost == 0
+        assert r.labels["x"] + r.labels["y"] == 5
+
+    def test_forest_multiple_components(self):
+        p = DiscreteLabelingProblem()
+        for n in "abcd":
+            p.add_node(n, [1, 2])
+        p.add_edge("a", "b", 4)
+        p.add_edge("c", "d", 4)
+        r = p.solve_tree()
+        assert r.cost == 0
+
+    def test_cycle_rejected_by_tree_solver(self):
+        p = chain([[1], [1, 2], [1]], [1, 1])
+        p.add_edge(0, 2, 1)
+        with pytest.raises(ValueError):
+            p.solve_tree()
+
+
+class TestGeneralSolve:
+    def test_cycle_matches_exhaustive(self):
+        p = DiscreteLabelingProblem()
+        p.add_node("a", [1])
+        p.add_node("b", [1, 2])
+        p.add_node("c", [2])
+        p.add_edge("a", "b", 1)
+        p.add_edge("b", "c", 1)
+        p.add_edge("a", "c", 10)
+        assert p.solve().cost == p.solve_exhaustive().cost == 11
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_cycles_not_worse_than_double_optimal(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        p = DiscreteLabelingProblem()
+        n = 6
+        for i in range(n):
+            p.add_node(i, [0, 1, 2])
+        for _ in range(9):
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            p.add_edge(int(u), int(v), int(rng.integers(1, 10)))
+        heur = p.solve()
+        exact = p.solve_exhaustive()
+        assert heur.cost >= exact.cost
+        # ICM from a spanning-tree seed is decent on small instances.
+        assert heur.cost <= exact.cost * 3 + 1
+
+    def test_exhaustive_limit(self):
+        p = DiscreteLabelingProblem()
+        for i in range(30):
+            p.add_node(i, list(range(10)))
+        with pytest.raises(ValueError):
+            p.solve_exhaustive(limit=1000)
+
+    def test_empty_candidates_rejected(self):
+        p = DiscreteLabelingProblem()
+        with pytest.raises(ValueError):
+            p.add_node("x", [])
+
+    def test_edge_before_nodes_rejected(self):
+        p = DiscreteLabelingProblem()
+        p.add_node("a", [1])
+        with pytest.raises(KeyError):
+            p.add_edge("a", "zzz", 1)
+
+    def test_total_cost_fractions(self):
+        p = chain([[1], [2]], [Fraction(3, 2)])
+        assert p.total_cost({0: 1, 1: 2}) == Fraction(3, 2)

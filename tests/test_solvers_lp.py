@@ -1,0 +1,145 @@
+"""Unit tests for the LP layer: from-scratch simplex vs HiGHS."""
+
+import pytest
+
+from repro.solvers import LPModel
+
+BACKENDS = ["simplex", "scipy"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBasicLPs:
+    def test_bounded_minimum(self, backend):
+        m = LPModel()
+        x = m.var("x")
+        y = m.var("y", lower=0)
+        m.add(x - y, ">=", 1)
+        m.add(x + y, ">=", 3)
+        m.minimize(x + 2 * y)
+        s = m.solve(backend)
+        assert s.status == "optimal"
+        assert s.objective == pytest.approx(3.0)
+
+    def test_equality_constraints(self, backend):
+        m = LPModel()
+        x = m.var("x", lower=0)
+        y = m.var("y", lower=0)
+        m.add(x + y, "==", 10)
+        m.minimize(3 * x + y)
+        s = m.solve(backend)
+        assert s.objective == pytest.approx(10.0)
+        assert s.values[y] == pytest.approx(10.0)
+
+    def test_free_variable_negative_optimum(self, backend):
+        m = LPModel()
+        x = m.var("x")
+        m.add(x, ">=", -7)
+        m.minimize(x)
+        s = m.solve(backend)
+        assert s.objective == pytest.approx(-7.0)
+
+    def test_upper_bounds(self, backend):
+        m = LPModel()
+        x = m.var("x", lower=0, upper=4)
+        m.minimize(-1 * x)
+        s = m.solve(backend)
+        assert s.objective == pytest.approx(-4.0)
+
+    def test_infeasible(self, backend):
+        m = LPModel()
+        x = m.var("x", lower=0)
+        m.add(x, "<=", -1)
+        m.minimize(x)
+        assert m.solve(backend).status == "infeasible"
+
+    def test_unbounded(self, backend):
+        m = LPModel()
+        x = m.var("x")
+        m.minimize(x)
+        s = m.solve(backend)
+        assert s.status == "unbounded"
+
+    def test_abs_bound_pair(self, backend):
+        # minimize |x - 5| + |x - 9| -> 4 anywhere in [5, 9]
+        m = LPModel()
+        x = m.var("x")
+        t1 = m.var("t1", lower=0)
+        t2 = m.var("t2", lower=0)
+        m.add_abs_bound(t1, x - 5)
+        m.add_abs_bound(t2, x - 9)
+        m.minimize(t1 + t2)
+        s = m.solve(backend)
+        assert s.objective == pytest.approx(4.0)
+        assert 5 - 1e-6 <= s.values[x] <= 9 + 1e-6
+
+    def test_weighted_median(self, backend):
+        # minimize sum w_i |x - a_i|: optimum at weighted median (a=3)
+        m = LPModel()
+        x = m.var("x")
+        total = None
+        for w, a in [(1, 0), (5, 3), (1, 10)]:
+            t = m.var(f"t{a}", lower=0)
+            m.add_abs_bound(t, x - a)
+            total = t * w if total is None else total + t * w
+        m.minimize(total)
+        s = m.solve(backend)
+        assert s.values[x] == pytest.approx(3.0, abs=1e-6)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        m = LPModel()
+        n = 5
+        xs = [m.var(f"x{i}", lower=0, upper=10) for i in range(n)]
+        for _ in range(6):
+            coeffs = rng.integers(-3, 4, size=n)
+            expr = None
+            for c, x in zip(coeffs, xs):
+                term = x * int(c)
+                expr = term if expr is None else expr + term
+            m.add(expr, ">=", int(rng.integers(-10, 5)))
+        obj = None
+        for x in xs:
+            c = int(rng.integers(1, 5))
+            obj = x * c if obj is None else obj + x * c
+        m.minimize(obj)
+        s1 = m.solve("simplex")
+        s2 = m.solve("scipy")
+        assert s1.status == s2.status
+        if s1.status == "optimal":
+            assert s1.objective == pytest.approx(s2.objective, abs=1e-6)
+
+
+class TestModelLayer:
+    def test_constraint_const_folding(self):
+        m = LPModel()
+        x = m.var("x")
+        con = m.add(x + 5, "<=", 8)
+        assert con.rhs == 3.0
+
+    def test_linexpr_ops(self):
+        m = LPModel()
+        x = m.var("x")
+        y = m.var("y")
+        e = 2 * x - (y - 1)
+        assert e.coeffs[x] == 2.0
+        assert e.coeffs[y] == -1.0
+        assert e.const == 1.0
+
+    def test_unknown_backend(self):
+        m = LPModel()
+        m.var("x")
+        with pytest.raises(ValueError):
+            m.solve("nonsense")
+
+    def test_unconstrained_zero_objective(self):
+        m = LPModel()
+        m.var("x")
+        m.minimize(LPModel().var("y") * 0 if False else m.var("t", lower=0))
+        s = m.solve("simplex")
+        assert s.status == "optimal"
+        assert s.objective == pytest.approx(0.0)

@@ -1,0 +1,109 @@
+"""Unit tests for max-flow/min-cut, cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.solvers import INF, FlowNetwork
+
+METHODS = ["dinic", "edmonds-karp"]
+
+
+def classic_network():
+    g = FlowNetwork()
+    edges = [
+        ("s", "a", 10),
+        ("s", "b", 10),
+        ("a", "b", 2),
+        ("a", "t", 4),
+        ("a", "c", 8),
+        ("b", "c", 9),
+        ("c", "t", 10),
+    ]
+    for u, v, c in edges:
+        g.add_edge(u, v, c)
+    return g, edges
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestMaxFlow:
+    def test_classic(self, method):
+        g, _ = classic_network()
+        assert g.max_flow("s", "t", method=method) == pytest.approx(14.0)
+
+    def test_disconnected(self, method):
+        g = FlowNetwork()
+        g.add_edge("s", "a", 5)
+        g.node("t")
+        assert g.max_flow("s", "t", method=method) == 0.0
+
+    def test_parallel_edges(self, method):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 3)
+        g.add_edge("s", "t", 4)
+        assert g.max_flow("s", "t", method=method) == pytest.approx(7.0)
+
+    def test_infinite_arc(self, method):
+        g = FlowNetwork()
+        g.add_edge("s", "a", INF)
+        g.add_edge("a", "t", 5)
+        assert g.max_flow("s", "t", method=method) == pytest.approx(5.0)
+
+    def test_source_equals_sink_rejected(self, method):
+        g = FlowNetwork()
+        g.add_edge("s", "t", 1)
+        with pytest.raises(ValueError):
+            g.max_flow("s", "s", method=method)
+
+
+class TestMinCut:
+    def test_cut_value_matches_flow(self):
+        g, edges = classic_network()
+        value, s_side, t_side = g.min_cut("s", "t")
+        assert value == pytest.approx(14.0)
+        assert "s" in s_side and "t" in t_side
+        crossing = sum(c for (u, v, c) in edges if u in s_side and v in t_side)
+        assert crossing == pytest.approx(value)
+
+    def test_cut_edges_helper(self):
+        g, _ = classic_network()
+        _, s_side, _ = g.min_cut("s", "t")
+        crossing = g.cut_edges(s_side)
+        assert sum(c for (_, _, c) in crossing) == pytest.approx(14.0)
+
+    def test_methods_agree(self):
+        g, _ = classic_network()
+        v1 = g.max_flow("s", "t", method="dinic")
+        v2 = g.max_flow("s", "t", method="edmonds-karp")
+        assert v1 == pytest.approx(v2)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        g = FlowNetwork()
+        G = nx.DiGraph()
+        for _ in range(24):
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            c = int(rng.integers(1, 20))
+            g.add_edge(int(u), int(v), c)
+            if G.has_edge(int(u), int(v)):
+                G[int(u)][int(v)]["capacity"] += c
+            else:
+                G.add_edge(int(u), int(v), capacity=c)
+        g.node(0)
+        g.node(n - 1)
+        G.add_node(0)
+        G.add_node(n - 1)
+        ours = g.max_flow(0, n - 1)
+        theirs = nx.maximum_flow_value(G, 0, n - 1)
+        assert ours == pytest.approx(theirs)
+
+    def test_negative_capacity_rejected(self):
+        g = FlowNetwork()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1)
