@@ -30,7 +30,10 @@ Subpackages:
   and the full pipeline;
 * :mod:`repro.solvers` — from-scratch simplex LP and max-flow/min-cut;
 * :mod:`repro.machine` — a distributed-memory machine simulator that
-  measures the communication the alignments imply.
+  measures the communication the alignments imply;
+* :mod:`repro.distrib` — automatic distribution planning (the phase the
+  paper defers): per-axis HPF scheme + processor-grid search over a
+  communication cost model exact against the simulator.
 """
 
 from .lang import ProgramBuilder, parse, pretty, typecheck
@@ -39,6 +42,7 @@ from .adg import build_adg
 from .align import (
     Alignment,
     AlignmentPlan,
+    align_and_distribute,
     align_program,
     label_replication,
     solve_axis_stride,
@@ -46,8 +50,9 @@ from .align import (
     total_cost,
 )
 from .machine import Distribution, measure_plan, run_program
+from .distrib import DistributionPlan, build_profile, plan_distribution
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ProgramBuilder",
@@ -58,6 +63,7 @@ __all__ = [
     "build_adg",
     "Alignment",
     "AlignmentPlan",
+    "align_and_distribute",
     "align_program",
     "label_replication",
     "solve_axis_stride",
@@ -66,5 +72,8 @@ __all__ = [
     "Distribution",
     "measure_plan",
     "run_program",
+    "DistributionPlan",
+    "build_profile",
+    "plan_distribution",
     "__version__",
 ]

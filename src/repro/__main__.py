@@ -5,10 +5,13 @@ Usage::
     python -m repro FILE [--algorithm fixed|unrolling|...] [--m 3]
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
+                         [--distribute P] [--phases]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
-alignment pipeline, and prints the report; optionally renders the ADG
-and measures the plan on the machine simulator.
+alignment pipeline, and prints the report; optionally renders the ADG,
+measures the plan on the machine simulator, or — the paper's deferred
+second phase — plans a distribution automatically for P processors
+(``--distribute``), per program phase with costed remaps (``--phases``).
 """
 
 from __future__ import annotations
@@ -54,7 +57,22 @@ def main(argv: list[str] | None = None) -> int:
         default="4",
         help="comma-separated processor grid for --measure (default 4 per axis)",
     )
+    ap.add_argument(
+        "--distribute",
+        type=int,
+        metavar="P",
+        help="automatically plan a distribution for P processors",
+    )
+    ap.add_argument(
+        "--phases",
+        action="store_true",
+        help="with --distribute: plan per program phase with costed remaps",
+    )
     args = ap.parse_args(argv)
+    if args.distribute is not None and args.distribute < 1:
+        ap.error("--distribute needs at least 1 processor")
+    if args.phases and args.distribute is None:
+        ap.error("--phases requires --distribute")
 
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
     program = parse(source, name=args.file)
@@ -86,6 +104,34 @@ def main(argv: list[str] | None = None) -> int:
             processors=None if args.measure == "identity" else procs,
         )
         print(f"machine ({args.measure}): {traffic.summary()}")
+
+    if args.distribute is not None:
+        from .distrib import build_profile, naive_costs, plan_distribution
+        from .machine import measure_traffic
+
+        profile = build_profile(plan.adg, plan.alignments)
+        dplan = plan_distribution(profile, args.distribute)
+        print(dplan.render())
+        for name, cost in sorted(naive_costs(profile, args.distribute).items()):
+            print(f"  naive {name:>9s}: hops={cost.hops} moved={cost.moved}")
+        traffic = measure_traffic(
+            plan.adg, plan.alignments, dplan.to_distribution()
+        )
+        print(f"machine (planned): {traffic.summary()}")
+        if args.phases:
+            from .distrib import plan_program_phases
+
+            align_kw = dict(
+                algorithm=args.algorithm,
+                replication=not args.no_replication,
+                mobile=not args.static,
+                **kw,
+            )
+            print(
+                plan_program_phases(
+                    program, args.distribute, align_kw=align_kw
+                ).render()
+            )
     return 0
 
 

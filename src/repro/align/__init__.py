@@ -49,7 +49,7 @@ from .cost import (
     offset_only_cost,
     total_cost,
 )
-from .pipeline import AlignmentPlan, align_program
+from .pipeline import AlignmentPlan, align_and_distribute, align_program
 
 __all__ = [
     "Alignment",
@@ -97,5 +97,6 @@ __all__ = [
     "offset_only_cost",
     "total_cost",
     "AlignmentPlan",
+    "align_and_distribute",
     "align_program",
 ]

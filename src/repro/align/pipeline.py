@@ -9,14 +9,20 @@ Phases, in the paper's order:
    the paper's resolution of the chicken-and-egg between replication
    (which needs to know which offsets are mobile) and offsets (which
    skip edges with replicated endpoints);
-5. assembly of full per-port alignments and exact cost accounting.
+5. assembly of full per-port alignments and exact cost accounting;
+6. *(optional, beyond the paper)* automatic distribution planning —
+   the phase the paper defers — via :func:`align_and_distribute`,
+   which attaches a :class:`repro.distrib.DistributionPlan`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (distrib uses align)
+    from ..distrib.plan import DistributionPlan
 
 from ..adg.build import build_adg
 from ..adg.graph import ADG, Port
@@ -41,6 +47,7 @@ class AlignmentPlan:
     alignments: AlignmentMap
     total_cost: Fraction
     replication_rounds: int = 1
+    distribution: Optional["DistributionPlan"] = None
 
     def alignment_of(self, p: Port) -> Alignment:
         return self.alignments[id(p)]
@@ -73,6 +80,8 @@ class AlignmentPlan:
                     f"    {ec.kind:10s} {str(ec.cost):>12s}  "
                     f"{ec.edge.tail.uid} -> {ec.edge.head.uid}"
                 )
+        if self.distribution is not None:
+            lines.append(self.distribution.render())
         return "\n".join(lines)
 
 
@@ -160,3 +169,29 @@ def align_program(
         cost,
         replication_rounds=rounds,
     )
+
+
+def align_and_distribute(
+    program: Program,
+    nprocs: int,
+    distrib_options: Optional[dict] = None,
+    **align_kw,
+) -> AlignmentPlan:
+    """Alignment plus the paper's deferred phase: distribution planning.
+
+    Runs :func:`align_program`, then hands the solved alignments to the
+    :mod:`repro.distrib` planner for ``nprocs`` processors and attaches
+    the chosen :class:`~repro.distrib.plan.DistributionPlan` to the
+    returned plan (``plan.distribution``); ``distrib_options`` forwards
+    keyword arguments to
+    :func:`repro.distrib.search.plan_distribution`.
+    """
+    # Imported lazily: repro.distrib depends on this module.
+    from ..distrib import build_profile, plan_distribution
+
+    plan = align_program(program, **align_kw)
+    profile = build_profile(plan.adg, plan.alignments)
+    plan.distribution = plan_distribution(
+        profile, nprocs, **(distrib_options or {})
+    )
+    return plan

@@ -1,0 +1,87 @@
+"""Automatic distribution planning: the paper's deferred second phase.
+
+The SC'93 paper aligns arrays to a template and explicitly defers the
+mapping of template cells onto processors.  This subsystem closes that
+gap: given a solved alignment (an :class:`~repro.align.pipeline.AlignmentPlan`'s
+ADG + alignment map) and a machine size P, it chooses per template axis
+an HPF distribution (block / cyclic / block-cyclic with block size) and
+a processor-grid shape minimizing modeled communication cost.
+
+Modules:
+
+* :mod:`repro.distrib.costmodel` — compiles the aligned ADG into a
+  :class:`CommProfile` whose evaluation agrees exactly with the machine
+  simulator's measured hop counts;
+* :mod:`repro.distrib.enumerate` — grid factorizations, per-axis scheme
+  candidates, naive uniform baselines;
+* :mod:`repro.distrib.search` — exhaustive per-axis DP (reusing
+  :mod:`repro.solvers.dp`) with a greedy/local-search fallback;
+* :mod:`repro.distrib.remap` — redistribution planning between program
+  phases with costed remap edges;
+* :mod:`repro.distrib.plan` — the :class:`DistributionPlan` output
+  representation and renderer.
+
+Quickstart::
+
+    from repro import align_program, parse
+    from repro.distrib import build_profile, plan_distribution
+
+    plan = align_program(parse(src))
+    profile = build_profile(plan.adg, plan.alignments)
+    dplan = plan_distribution(profile, nprocs=16)
+    print(dplan.render())
+"""
+
+from .costmodel import CommProfile, CostVector, MoveRecord, build_profile
+from .enumerate import (
+    DEFAULT_BLOCK_SIZES,
+    axis_candidates,
+    balanced_factorization,
+    covering_block,
+    grid_factorizations,
+    naive_costs,
+    naive_distributions,
+    space_size,
+)
+from .plan import BLOCK, BLOCK_CYCLIC, CYCLIC, SCHEMES, AxisPlan, DistributionPlan
+from .remap import (
+    PhaseChoice,
+    PhasedPlan,
+    plan_phase_sequence,
+    plan_program_phases,
+    remap_cost,
+    split_phases,
+    union_window,
+)
+from .search import EXHAUSTIVE_LIMIT, plan_distribution, rank_plans
+
+__all__ = [
+    "CommProfile",
+    "CostVector",
+    "MoveRecord",
+    "build_profile",
+    "DEFAULT_BLOCK_SIZES",
+    "axis_candidates",
+    "balanced_factorization",
+    "covering_block",
+    "grid_factorizations",
+    "naive_costs",
+    "naive_distributions",
+    "space_size",
+    "BLOCK",
+    "BLOCK_CYCLIC",
+    "CYCLIC",
+    "SCHEMES",
+    "AxisPlan",
+    "DistributionPlan",
+    "PhaseChoice",
+    "PhasedPlan",
+    "plan_phase_sequence",
+    "plan_program_phases",
+    "remap_cost",
+    "split_phases",
+    "union_window",
+    "EXHAUSTIVE_LIMIT",
+    "plan_distribution",
+    "rank_plans",
+]

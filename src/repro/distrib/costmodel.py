@@ -1,0 +1,235 @@
+"""Communication-cost model for distribution planning.
+
+The planner must compare hundreds of candidate distributions, so it
+cannot afford to re-walk the ADG (re-evaluating affine offsets over
+every iteration space) per candidate the way
+:func:`repro.machine.executor.measure_traffic` does.  Instead,
+:func:`build_profile` walks the aligned ADG **once** and compiles it
+into a :class:`CommProfile` — a deduplicated list of move records, each
+holding the template coordinates of one object move's elements per
+active axis (exactly the arrays :func:`repro.machine.comm.count_move`
+would build) plus a multiplicity.  Evaluating a candidate distribution
+is then a handful of vectorized map/abs/sum passes over the records.
+
+Because the records hold the *same coordinates* the executor maps, the
+model is exact by construction: for any distribution,
+``profile.evaluate(dist)`` equals the executor's measured counts, and
+under the identity distribution the hop count equals the paper's
+equation-1 cost.  The end-to-end tests assert both equalities.
+
+Distribution-independent traffic is folded into the profile up front:
+
+* *general* communication (axis or stride mismatch) costs the object
+  size in hops and moves regardless of where cells live;
+* *broadcasts* along replicated axes cost the object size once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..adg.graph import ADG
+from ..align.cost import AlignmentMap
+from ..machine.comm import _axis_positions
+from ..machine.distribution import AxisDistribution, Distribution
+from ..machine.executor import _shape_at
+
+
+@dataclass(frozen=True, order=True)
+class CostVector:
+    """Modeled communication of one distribution choice.
+
+    Ordering is lexicographic (hops, moved, broadcast): processor hops
+    are the paper's grid metric made operational and the planner's
+    primary objective; element moves break ties.
+    """
+
+    hops: int = 0
+    moved: int = 0
+    broadcast: int = 0
+
+    def __add__(self, other: "CostVector") -> "CostVector":
+        return CostVector(
+            self.hops + other.hops,
+            self.moved + other.moved,
+            self.broadcast + other.broadcast,
+        )
+
+
+@dataclass
+class MoveRecord:
+    """One distinct object move: coordinates per active template axis.
+
+    ``axes`` lists the template axes that participate (both endpoints
+    non-replicated); ``src``/``dst`` hold, per listed axis, the template
+    coordinate of every element (full-shape integer arrays).  ``count``
+    is the number of identical moves folded into this record — static
+    offsets repeat the same move every loop iteration, so deduplication
+    routinely collapses an O(iterations) walk to O(1) records.
+    """
+
+    axes: tuple[int, ...]
+    src: tuple[np.ndarray, ...]
+    dst: tuple[np.ndarray, ...]
+    count: int = 1
+
+    @property
+    def elements(self) -> int:
+        return int(self.src[0].size) if self.src else 0
+
+
+@dataclass
+class CommProfile:
+    """The compiled communication behaviour of one aligned program."""
+
+    template_rank: int
+    records: list[MoveRecord] = field(default_factory=list)
+    window: tuple[tuple[int, int], ...] = ()  # per-axis (lo, hi) cells
+    fixed: CostVector = CostVector()  # general comm: distribution-independent
+    broadcast: int = 0
+    elements: int = 0  # total elements flowing over all edges
+    # General (axis/stride-mismatch) moves, counted per iteration point —
+    # unlike TrafficReport.general_edges, which counts edges.
+    general_moves: int = 0
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, dist: Distribution) -> CostVector:
+        """Exact modeled cost of ``dist``: matches the executor's counts."""
+        if dist.rank != self.template_rank:
+            raise ValueError(
+                f"distribution rank {dist.rank} != template rank "
+                f"{self.template_rank}"
+            )
+        hops = self.fixed.hops
+        moved = self.fixed.moved
+        for r in self.records:
+            sub = Distribution(tuple(dist.axes[t] for t in r.axes))
+            moved += int(np.sum(sub.moved_mask(r.src, r.dst))) * r.count
+            hops += int(np.sum(sub.hop_distance(r.src, r.dst))) * r.count
+        return CostVector(hops, moved, self.broadcast)
+
+    def axis_hops(self, axis: int, axdist: AxisDistribution) -> int:
+        """Hops contributed by one template axis under one axis scheme.
+
+        The L1 grid metric decomposes over axes, so per-axis hop costs
+        can be optimized independently once the processor count per axis
+        is fixed — this is what makes the exhaustive search a per-axis
+        dynamic program rather than a cross-product sweep.
+        """
+        total = 0
+        for r in self.records:
+            if axis not in r.axes:
+                continue
+            j = r.axes.index(axis)
+            d = axdist.processor_coordinate_distance(r.src[j], r.dst[j])
+            total += int(np.sum(d)) * r.count
+        return total
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def distinct_moves(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_moves(self) -> int:
+        return sum(r.count for r in self.records)
+
+    def describe(self) -> str:
+        win = ", ".join(f"[{lo}, {hi}]" for lo, hi in self.window)
+        return (
+            f"profile: rank={self.template_rank} window=({win}) "
+            f"records={self.distinct_moves} (of {self.total_moves} moves) "
+            f"fixed_hops={self.fixed.hops} broadcast={self.broadcast}"
+        )
+
+
+def _stride_mismatch(src, dst, env) -> bool:
+    for a1, a2 in zip(src.axes, dst.axes):
+        if a1.is_body:
+            assert a1.stride is not None and a2.stride is not None
+            if a1.stride.evaluate(env) != a2.stride.evaluate(env):
+                return True
+    return False
+
+
+def build_profile(adg: ADG, alignments: AlignmentMap) -> CommProfile:
+    """Compile an aligned ADG into a :class:`CommProfile`.
+
+    Mirrors the classification of :func:`repro.machine.comm.count_move`
+    move for move; the only difference is that distribution-dependent
+    moves are *recorded* (coordinates kept) instead of counted under one
+    fixed distribution.
+    """
+    rank = adg.template_rank
+    profile = CommProfile(template_rank=rank)
+    lo: list[int | None] = [None] * rank
+    hi: list[int | None] = [None] * rank
+    dedup: dict[tuple, MoveRecord] = {}
+    for e in adg.edges:
+        for env in e.space.points():
+            shape = _shape_at(e.tail, env)
+            n = int(np.prod(shape)) if shape else 1
+            profile.elements += n
+            src = alignments[id(e.tail)]
+            dst = alignments[id(e.head)]
+            src_pos = _axis_positions(src, shape, env)
+            dst_pos = _axis_positions(dst, shape, env)
+            # Window bounds (same rule as executor.coordinate_bounds,
+            # folded into this walk): min/max coordinate of either
+            # endpoint on every non-replicated axis.
+            for align, pos in ((src, src_pos), (dst, dst_pos)):
+                for t, (ax, arr) in enumerate(zip(align.axes, pos)):
+                    if ax.is_replicated or arr.size == 0:
+                        continue
+                    a_lo, a_hi = int(arr.min()), int(arr.max())
+                    lo[t] = a_lo if lo[t] is None else min(lo[t], a_lo)
+                    hi[t] = a_hi if hi[t] is None else max(hi[t], a_hi)
+            general = src.axis_signature() != dst.axis_signature()
+            if not general:
+                general = _stride_mismatch(src, dst, env)
+            if general:
+                profile.fixed = profile.fixed + CostVector(hops=n, moved=n)
+                profile.general_moves += 1
+                continue
+            for a1, a2 in zip(src.axes, dst.axes):
+                if a2.is_replicated and not a1.is_replicated:
+                    profile.broadcast += n
+            active = tuple(
+                t
+                for t, (a1, a2) in enumerate(zip(src.axes, dst.axes))
+                if not (a1.is_replicated or a2.is_replicated)
+            )
+            if not active:
+                continue
+            s = tuple(np.ascontiguousarray(src_pos[t]) for t in active)
+            d = tuple(np.ascontiguousarray(dst_pos[t]) for t in active)
+            if all(np.array_equal(a, b) for a, b in zip(s, d)):
+                continue  # no axis shifts: free under every distribution
+            key = (
+                active,
+                tuple(a.shape for a in s),
+                tuple(a.tobytes() for a in s),
+                tuple(a.tobytes() for a in d),
+            )
+            rec = dedup.get(key)
+            if rec is None:
+                rec = MoveRecord(active, s, d)
+                dedup[key] = rec
+                profile.records.append(rec)
+            else:
+                rec.count += 1
+    profile.window = tuple(
+        (0, 0) if l is None else (l, h)  # type: ignore[misc]
+        for l, h in zip(lo, hi)
+    )
+    return profile
+
+
+def window_extents(profile: CommProfile) -> tuple[int, ...]:
+    """Occupied cells per axis (window size), at least 1 per axis."""
+    return tuple(hi - lo + 1 for lo, hi in profile.window)

@@ -1,0 +1,149 @@
+"""Candidate generation for the distribution planner.
+
+The search space has two nested choices: the *shape* of the processor
+grid (an ordered factorization of the machine size P over the template
+axes) and, per axis, the *scheme* — block with the covering block size,
+cyclic, or block-cyclic with a small block.  This module enumerates
+both, and builds the three naive uniform baselines (all-block,
+all-cyclic, identity) the planner is benchmarked against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..machine.distribution import Distribution
+from .costmodel import CommProfile, CostVector, window_extents
+from .plan import BLOCK, BLOCK_CYCLIC, CYCLIC, AxisPlan
+
+DEFAULT_BLOCK_SIZES = (2, 4, 8)
+
+
+def grid_factorizations(nprocs: int, rank: int) -> list[tuple[int, ...]]:
+    """All ordered factorizations of ``nprocs`` into ``rank`` axis counts.
+
+    ``grid_factorizations(4, 2) == [(1, 4), (2, 2), (4, 1)]``.  The
+    order is deterministic (lexicographic) so search results are stable.
+    """
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    if rank < 1:
+        raise ValueError("rank must be >= 1")
+    if rank == 1:
+        return [(nprocs,)]
+    out: list[tuple[int, ...]] = []
+    for p in range(1, nprocs + 1):
+        if nprocs % p:
+            continue
+        for rest in grid_factorizations(nprocs // p, rank - 1):
+            out.append((p, *rest))
+    return out
+
+
+def balanced_factorization(nprocs: int, rank: int) -> tuple[int, ...]:
+    """The most nearly-cubic grid shape (minimal max/min spread)."""
+    return min(
+        grid_factorizations(nprocs, rank), key=lambda g: (max(g) - min(g), g)
+    )
+
+
+def covering_block(extent: int, nprocs: int) -> int:
+    """The block size whose blocks exactly cover the axis window."""
+    return max(1, -(-extent // nprocs))  # ceil division
+
+
+def axis_candidates(
+    lo: int,
+    extent: int,
+    nprocs: int,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+) -> list[AxisPlan]:
+    """All axis schemes for one template axis on ``nprocs`` processors.
+
+    * block, with the covering block size (smaller blocks would leave
+      cells of the window un-owned — a contract violation);
+    * cyclic (only meaningful for nprocs > 1);
+    * block-cyclic for each configured block size strictly between 1
+      (= cyclic) and the covering block (= block).
+
+    On one processor every scheme is the same no-communication mapping,
+    so a single covering block candidate is emitted.
+    """
+    cover = covering_block(extent, nprocs)
+    out = [AxisPlan(BLOCK, nprocs, cover, lo)]
+    if nprocs > 1:
+        out.append(AxisPlan(CYCLIC, nprocs, 1, lo))
+        for b in sorted(set(block_sizes)):
+            if 1 < b < cover:
+                out.append(AxisPlan(BLOCK_CYCLIC, nprocs, b, lo))
+    return out
+
+
+def candidate_spaces(
+    profile: CommProfile,
+    nprocs: int,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+) -> Iterator[tuple[tuple[int, ...], list[list[AxisPlan]]]]:
+    """Yield ``(grid shape, per-axis candidate lists)`` per factorization."""
+    extents = window_extents(profile)
+    for grid in grid_factorizations(nprocs, profile.template_rank):
+        cands = [
+            axis_candidates(lo, ext, p, block_sizes)
+            for (lo, _), ext, p in zip(profile.window, extents, grid)
+        ]
+        yield grid, cands
+
+
+def space_size(
+    profile: CommProfile,
+    nprocs: int,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+) -> int:
+    """Total number of candidate distributions across all grid shapes."""
+    total = 0
+    for _, cands in candidate_spaces(profile, nprocs, block_sizes):
+        prod = 1
+        for c in cands:
+            prod *= len(c)
+        total += prod
+    return total
+
+
+def naive_distributions(
+    profile: CommProfile, nprocs: int
+) -> dict[str, Distribution]:
+    """The three uniform baselines the planner must beat or match.
+
+    ``all-block`` and ``all-cyclic`` live on the most balanced grid
+    shape; ``identity`` is the paper's analytic one-processor-per-cell
+    machine (an unbounded-resource lower bound for locality, but not
+    for hops: blocks contract the grid metric).
+    """
+    rank = profile.template_rank
+    grid = balanced_factorization(nprocs, rank)
+    extents = window_extents(profile)
+    block = Distribution(
+        tuple(
+            AxisPlan(BLOCK, p, covering_block(ext, p), lo).to_axis_distribution()
+            for (lo, _), ext, p in zip(profile.window, extents, grid)
+        )
+    )
+    cyclic = Distribution(
+        tuple(
+            AxisPlan(CYCLIC, p, 1, lo).to_axis_distribution()
+            for (lo, _), p in zip(profile.window, grid)
+        )
+    )
+    return {
+        "all-block": block,
+        "all-cyclic": cyclic,
+        "identity": Distribution.identity(rank),
+    }
+
+
+def naive_costs(profile: CommProfile, nprocs: int) -> dict[str, CostVector]:
+    """Modeled cost of each naive baseline."""
+    return {
+        name: profile.evaluate(dist)
+        for name, dist in naive_distributions(profile, nprocs).items()
+    }

@@ -1,0 +1,129 @@
+"""Distribution plans: the planner's output representation.
+
+The paper's deferred second phase assigns each template axis an HPF-style
+distribution onto one axis of a processor grid.  A
+:class:`DistributionPlan` records that choice — per-axis scheme, block
+size and base cell — together with the grid shape and the modeled
+communication cost, and converts to a concrete
+:class:`repro.machine.Distribution` for the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.distribution import (
+    AxisDistribution,
+    Block,
+    BlockCyclic,
+    Cyclic,
+    Distribution,
+)
+from .costmodel import CostVector
+
+BLOCK = "block"
+CYCLIC = "cyclic"
+BLOCK_CYCLIC = "block-cyclic"
+SCHEMES = (BLOCK, CYCLIC, BLOCK_CYCLIC)
+
+
+@dataclass(frozen=True)
+class AxisPlan:
+    """Distribution choice for one template axis.
+
+    ``scheme`` is one of :data:`SCHEMES`; ``block`` is the block size
+    (meaningful for block and block-cyclic); ``base`` anchors the
+    distribution at the lowest template cell the axis actually touches,
+    which keeps mobile-offset traffic inside the distribution's covered
+    range.
+    """
+
+    scheme: str
+    nprocs: int
+    block: int = 1
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown distribution scheme {self.scheme!r}")
+        if self.nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if self.block < 1:
+            raise ValueError("block must be >= 1")
+
+    def to_axis_distribution(self) -> AxisDistribution:
+        if self.scheme == BLOCK:
+            return Block(self.nprocs, self.block, self.base)
+        if self.scheme == CYCLIC:
+            return Cyclic(self.nprocs, self.base)
+        return BlockCyclic(self.nprocs, self.block, self.base)
+
+    def render(self) -> str:
+        """HPF directive spelling of this axis."""
+        if self.scheme == BLOCK:
+            return f"BLOCK({self.block})"
+        if self.scheme == CYCLIC:
+            return "CYCLIC"
+        return f"CYCLIC({self.block})"
+
+
+@dataclass(frozen=True)
+class DistributionPlan:
+    """A complete template distribution chosen by the planner.
+
+    ``exact`` records whether the choice came from exhaustive search
+    (globally optimal over the candidate space) or from the greedy /
+    local-search fallback.  ``searched`` counts candidate distributions
+    the planner evaluated.
+    """
+
+    axes: tuple[AxisPlan, ...]
+    cost: CostVector
+    exact: bool = True
+    searched: int = 0
+
+    @property
+    def rank(self) -> int:
+        return len(self.axes)
+
+    @property
+    def grid(self) -> tuple[int, ...]:
+        return tuple(a.nprocs for a in self.axes)
+
+    @property
+    def num_processors(self) -> int:
+        n = 1
+        for p in self.grid:
+            n *= p
+        return n
+
+    def to_distribution(self) -> Distribution:
+        return Distribution(tuple(a.to_axis_distribution() for a in self.axes))
+
+    def directive(self) -> str:
+        """One-line HPF-style distribute directive."""
+        axes = ", ".join(a.render() for a in self.axes)
+        grid = ", ".join(str(p) for p in self.grid)
+        return f"DISTRIBUTE T({axes}) ONTO P({grid})"
+
+    def render(self) -> str:
+        mode = "exact" if self.exact else "local-search"
+        lines = [
+            f"distribution plan ({self.num_processors} processors, {mode}, "
+            f"{self.searched} candidates searched)",
+            f"  {self.directive()}",
+        ]
+        for t, a in enumerate(self.axes):
+            lines.append(
+                f"  axis {t}: {a.render():>12s} on {a.nprocs} proc(s), "
+                f"base cell {a.base}"
+            )
+        lines.append(
+            f"  modeled cost: hops={self.cost.hops} moved={self.cost.moved} "
+            f"broadcast={self.cost.broadcast}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<DistributionPlan {self.directive()} hops={self.cost.hops}>"

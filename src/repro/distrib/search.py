@@ -1,0 +1,255 @@
+"""Search over the distribution-candidate space.
+
+Two regimes, chosen by the size of the candidate space:
+
+* **Exhaustive** (small spaces): the L1 hop metric decomposes over
+  template axes, so once a grid factorization fixes the processor count
+  per axis, the best scheme per axis is an independent choice.  Each
+  factorization is solved exactly as a discrete labeling problem on a
+  star graph (one node per axis, an anchor carrying the per-candidate
+  hop costs) reusing the compact dynamic programming of
+  :mod:`repro.solvers.dp`; the winner over all factorizations is the
+  hop-optimal distribution.
+
+* **Greedy + local search** (large spaces): greedy per-axis choice on a
+  sample of grid shapes, then hill-climbing over the factorization
+  neighborhood (moving one prime factor between two axes), with random
+  restarts — the GSAT recipe for discrete local search: cheap moves,
+  steepest descent, restart when stuck.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..solvers.dp import DiscreteLabelingProblem
+from .costmodel import CommProfile, CostVector, window_extents
+from .enumerate import (
+    DEFAULT_BLOCK_SIZES,
+    axis_candidates,
+    balanced_factorization,
+    candidate_spaces,
+    grid_factorizations,
+    space_size,
+)
+from .plan import AxisPlan, DistributionPlan
+
+EXHAUSTIVE_LIMIT = 20_000
+_ANCHOR = "$cost"
+
+
+def _axis_hop_table(
+    profile: CommProfile, cands: Sequence[Sequence[AxisPlan]]
+) -> list[list[int]]:
+    return [
+        [profile.axis_hops(t, c.to_axis_distribution()) for c in clist]
+        for t, clist in enumerate(cands)
+    ]
+
+
+def _solve_axes_dp(
+    profile: CommProfile, cands: Sequence[Sequence[AxisPlan]]
+) -> tuple[list[AxisPlan], int]:
+    """Exact per-axis choice by DP on a star-shaped labeling problem.
+
+    Candidate hop costs become edges to a pinned anchor node whose
+    predicate charges the weight exactly when the axis picks that
+    candidate; the star is a tree, so
+    :meth:`~repro.solvers.dp.DiscreteLabelingProblem.solve_tree` is
+    exact.  (The per-axis independence makes this equivalent to an
+    argmin per axis — the DP formulation keeps the planner on the same
+    machinery the alignment phases use, and stays correct if coupled
+    inter-axis costs are ever added as real edges.)
+    """
+    prob = DiscreteLabelingProblem()
+    hops = _axis_hop_table(profile, cands)
+    for t, clist in enumerate(cands):
+        prob.add_node(t, list(range(len(clist))))
+        for ci in range(len(clist)):
+            w = hops[t][ci]
+            if w:
+                # One anchor per (axis, candidate): parallel edges to a
+                # shared anchor would not be a forest.
+                anchor = (_ANCHOR, t, ci)
+                prob.fix_node(anchor, 0)
+                prob.add_edge(
+                    t,
+                    anchor,
+                    w,
+                    predicate=lambda lu, lv, ci=ci: lu != ci,
+                )
+    res = prob.solve_tree()
+    chosen = [clist[res.labels[t]] for t, clist in enumerate(cands)]
+    return chosen, int(res.cost)
+
+
+def _finish(
+    profile: CommProfile,
+    axes: Sequence[AxisPlan],
+    exact: bool,
+    searched: int,
+) -> DistributionPlan:
+    from ..machine.distribution import Distribution
+
+    dist = Distribution(tuple(a.to_axis_distribution() for a in axes))
+    return DistributionPlan(tuple(axes), profile.evaluate(dist), exact, searched)
+
+
+def plan_distribution(
+    profile: CommProfile,
+    nprocs: int,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    exhaustive_limit: int = EXHAUSTIVE_LIMIT,
+    seed: int = 0,
+    restarts: int = 8,
+) -> DistributionPlan:
+    """Choose the distribution minimizing modeled hops for ``nprocs``.
+
+    Exhaustive (hop-optimal) when the work of solving every grid shape
+    exactly is affordable; otherwise greedy + local search.  Because
+    the hop metric decomposes over axes, the exhaustive DP's work is
+    the per-axis candidate *sum* per grid (not the cross-product), so
+    ``exhaustive_limit`` bounds that sum over all grid shapes — the
+    cross-product space actually covered (reported in ``searched``) is
+    usually far larger.
+    """
+    spaces = list(candidate_spaces(profile, nprocs, block_sizes))
+    dp_work = sum(len(c) for _, cands in spaces for c in cands)
+    if dp_work <= exhaustive_limit:
+        covered = space_size(profile, nprocs, block_sizes)
+        best: DistributionPlan | None = None
+        for _, cands in spaces:
+            axes, _ = _solve_axes_dp(profile, cands)
+            plan = _finish(profile, axes, exact=True, searched=covered)
+            if best is None or (plan.cost, plan.grid) < (best.cost, best.grid):
+                best = plan
+        assert best is not None
+        return best
+    return _local_search(profile, nprocs, block_sizes, seed, restarts)
+
+
+def rank_plans(
+    profile: CommProfile,
+    nprocs: int,
+    k: int = 4,
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    max_grids: int = 64,
+    seed: int = 0,
+    window: Sequence[tuple[int, int]] | None = None,
+) -> list[DistributionPlan]:
+    """The ``k`` best distributions, one per grid shape, best first.
+
+    Used by the inter-phase remap planner, which needs *alternatives*:
+    the best distribution for one phase may lose globally once
+    redistribution edges are priced in.  ``window`` (default: the
+    profile's own) lets that planner size candidates over the union of
+    all phase windows so every candidate owns every remapped cell.
+    """
+    grids = grid_factorizations(nprocs, profile.template_rank)
+    if len(grids) > max_grids:
+        rng = random.Random(seed)
+        keep = {balanced_factorization(nprocs, profile.template_rank)}
+        keep.update(
+            grids[i] for i in rng.sample(range(len(grids)), max_grids - 1)
+        )
+        grids = sorted(keep)
+    win = tuple(window) if window is not None else profile.window
+    extents = tuple(hi - lo + 1 for lo, hi in win)
+    plans = []
+    for grid in grids:
+        cands = [
+            axis_candidates(lo, ext, p, block_sizes)
+            for (lo, _), ext, p in zip(win, extents, grid)
+        ]
+        axes, _ = _solve_axes_dp(profile, cands)
+        plans.append(_finish(profile, axes, exact=True, searched=len(grids)))
+    plans.sort(key=lambda pl: (pl.cost, pl.grid))
+    return plans[: max(1, k)]
+
+
+# -- greedy + local search ----------------------------------------------------
+
+
+def _greedy_axes(
+    profile: CommProfile,
+    grid: tuple[int, ...],
+    block_sizes: Sequence[int],
+) -> tuple[list[AxisPlan], int]:
+    """Per-axis argmin of hop cost (the per-grid optimum)."""
+    extents = window_extents(profile)
+    axes: list[AxisPlan] = []
+    total = profile.fixed.hops
+    for t, ((lo, _), ext, p) in enumerate(zip(profile.window, extents, grid)):
+        cands = axis_candidates(lo, ext, p, block_sizes)
+        costs = [profile.axis_hops(t, c.to_axis_distribution()) for c in cands]
+        best = min(range(len(cands)), key=costs.__getitem__)
+        axes.append(cands[best])
+        total += costs[best]
+    return axes, total
+
+
+def _prime_factors(n: int) -> list[int]:
+    out, d = [], 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return out
+
+
+def _neighbor_grids(grid: tuple[int, ...]) -> list[tuple[int, ...]]:
+    """Grids reachable by moving one prime factor between two axes."""
+    out = set()
+    for i, pi in enumerate(grid):
+        for f in set(_prime_factors(pi)):
+            for j in range(len(grid)):
+                if i == j:
+                    continue
+                g = list(grid)
+                g[i] //= f
+                g[j] *= f
+                out.add(tuple(g))
+    return sorted(out)
+
+
+def _local_search(
+    profile: CommProfile,
+    nprocs: int,
+    block_sizes: Sequence[int],
+    seed: int,
+    restarts: int,
+) -> DistributionPlan:
+    rng = random.Random(seed)
+    rank = profile.template_rank
+    searched = 0
+    best_axes: list[AxisPlan] | None = None
+    best_hops = 0
+    for r in range(max(1, restarts)):
+        if r == 0:
+            grid = balanced_factorization(nprocs, rank)
+        else:
+            # random restart: shuffle prime factors onto axes
+            g = [1] * rank
+            for f in _prime_factors(nprocs):
+                g[rng.randrange(rank)] *= f
+            grid = tuple(g)
+        axes, hops = _greedy_axes(profile, grid, block_sizes)
+        searched += 1
+        improved = True
+        while improved:
+            improved = False
+            for ng in _neighbor_grids(grid):
+                n_axes, n_hops = _greedy_axes(profile, ng, block_sizes)
+                searched += 1
+                if n_hops < hops:
+                    grid, axes, hops = ng, n_axes, n_hops
+                    improved = True
+                    break  # first-improvement, GSAT style
+        if best_axes is None or hops < best_hops:
+            best_axes, best_hops = axes, hops
+    assert best_axes is not None
+    return _finish(profile, best_axes, exact=False, searched=searched)

@@ -8,9 +8,16 @@ from .distribution import (
     Cyclic,
     Distribution,
     Identity,
+    validate_cells,
 )
 from .comm import MoveCount, count_move
-from .executor import EdgeTraffic, TrafficReport, measure_plan, measure_traffic
+from .executor import (
+    EdgeTraffic,
+    TrafficReport,
+    coordinate_bounds,
+    measure_plan,
+    measure_traffic,
+)
 from .interp import Interpreter, InterpreterError, run_program
 from .report import format_table
 
@@ -23,10 +30,12 @@ __all__ = [
     "Cyclic",
     "Distribution",
     "Identity",
+    "validate_cells",
     "MoveCount",
     "count_move",
     "EdgeTraffic",
     "TrafficReport",
+    "coordinate_bounds",
     "measure_plan",
     "measure_traffic",
     "Interpreter",

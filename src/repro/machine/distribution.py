@@ -8,7 +8,12 @@ coincide exactly with the paper's grid-metric cost, which is what the
 equation-1 validation experiment uses.
 
 All mapping functions are vectorized over numpy arrays of cell
-coordinates.
+coordinates, and all of them enforce one shared contract via
+:func:`validate_cells`: a distribution owns the template cells in
+``[base, base + coverage)`` (``coverage`` is infinite for the wrapping
+schemes and for the identity machine) and mapping any cell outside that
+range is an error, never a silent clip or wrap of data the distribution
+does not own.
 """
 
 from __future__ import annotations
@@ -19,6 +24,40 @@ from typing import Sequence
 import numpy as np
 
 from .template import ProcessorGrid, Template
+
+
+def validate_cells(
+    cells: np.ndarray,
+    base: int,
+    coverage: int | None,
+    kind: str,
+) -> np.ndarray:
+    """Enforce the ``AxisDistribution.map`` contract; return cells - base.
+
+    Every axis distribution covers the half-open cell range
+    ``[base, base + coverage)`` (``coverage=None`` means unbounded above:
+    cyclic schemes wrap forever).  Cells below ``base`` — in particular
+    negative cells under the default base 0 — or at/past the coverage
+    limit are rejected with :class:`ValueError` so that Block, Cyclic and
+    BlockCyclic all fail identically instead of Block clipping and
+    Cyclic wrapping out-of-contract data onto arbitrary processors.
+    """
+    arr = np.asarray(cells)
+    rel = arr - base
+    if arr.size:
+        lo = int(rel.min())
+        if lo < 0:
+            raise ValueError(
+                f"{kind}: cell {base + lo} below distribution base {base}"
+            )
+        if coverage is not None:
+            hi = int(rel.max())
+            if hi >= coverage:
+                raise ValueError(
+                    f"{kind}: cell {base + hi} outside covered range "
+                    f"[{base}, {base + coverage})"
+                )
+    return rel
 
 
 class AxisDistribution:
@@ -36,14 +75,28 @@ class AxisDistribution:
 
 @dataclass
 class Block(AxisDistribution):
-    """Contiguous blocks of ``block`` cells per processor, from ``base``."""
+    """Contiguous blocks of ``block`` cells per processor, from ``base``.
+
+    Covers exactly ``nprocs * block`` cells; anything outside is a
+    contract violation (the old behaviour silently clipped such cells
+    onto the first/last processor, undercounting hops).
+    """
 
     nprocs: int
     block: int
     base: int = 0
 
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0 or self.block <= 0:
+            raise ValueError("Block needs nprocs >= 1 and block >= 1")
+
+    @property
+    def coverage(self) -> int:
+        return self.nprocs * self.block
+
     def map(self, cells: np.ndarray) -> np.ndarray:
-        return np.clip((cells - self.base) // self.block, 0, self.nprocs - 1)
+        rel = validate_cells(cells, self.base, self.coverage, "Block")
+        return rel // self.block
 
 
 @dataclass
@@ -53,8 +106,13 @@ class Cyclic(AxisDistribution):
     nprocs: int
     base: int = 0
 
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise ValueError("Cyclic needs nprocs >= 1")
+
     def map(self, cells: np.ndarray) -> np.ndarray:
-        return np.mod(cells - self.base, self.nprocs)
+        rel = validate_cells(cells, self.base, None, "Cyclic")
+        return np.mod(rel, self.nprocs)
 
 
 @dataclass
@@ -65,16 +123,33 @@ class BlockCyclic(AxisDistribution):
     block: int
     base: int = 0
 
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0 or self.block <= 0:
+            raise ValueError("BlockCyclic needs nprocs >= 1 and block >= 1")
+
     def map(self, cells: np.ndarray) -> np.ndarray:
-        return np.mod((cells - self.base) // self.block, self.nprocs)
+        rel = validate_cells(cells, self.base, None, "BlockCyclic")
+        return np.mod(rel // self.block, self.nprocs)
 
 
 @dataclass
 class Identity(AxisDistribution):
-    """One processor per template cell: the cost-model-exact machine."""
+    """One processor per template cell: the cost-model-exact machine.
+
+    This is the paper's analytic machine over the conceptually infinite
+    template, so any integer cell (negative included) is in contract.
+    """
 
     def map(self, cells: np.ndarray) -> np.ndarray:
         return np.asarray(cells)
+
+
+def _bases(grid: ProcessorGrid, bases: Sequence[int] | None) -> list[int]:
+    if bases is None:
+        return [0] * grid.rank
+    if len(bases) != grid.rank:
+        raise ValueError("bases must match the processor-grid rank")
+    return list(bases)
 
 
 @dataclass
@@ -92,26 +167,45 @@ class Distribution:
         return cls(tuple(Identity() for _ in range(rank)))
 
     @classmethod
-    def block(cls, template: Template, grid: ProcessorGrid) -> "Distribution":
+    def block(
+        cls,
+        template: Template,
+        grid: ProcessorGrid,
+        bases: Sequence[int] | None = None,
+    ) -> "Distribution":
         if not template.extents:
             raise ValueError("block distribution needs template extents")
         axes = []
-        for ext, p in zip(template.extents, grid.shape):
+        for ext, p, lo in zip(template.extents, grid.shape, _bases(grid, bases)):
             blk = max(1, -(-ext // p))  # ceil division
-            axes.append(Block(p, blk))
+            axes.append(Block(p, blk, lo))
         return cls(tuple(axes))
 
     @classmethod
-    def cyclic(cls, template: Template, grid: ProcessorGrid) -> "Distribution":
-        return cls(tuple(Cyclic(p) for p in grid.shape))
+    def cyclic(
+        cls,
+        template: Template,
+        grid: ProcessorGrid,
+        bases: Sequence[int] | None = None,
+    ) -> "Distribution":
+        return cls(
+            tuple(Cyclic(p, lo) for p, lo in zip(grid.shape, _bases(grid, bases)))
+        )
 
     @classmethod
     def block_cyclic(
-        cls, template: Template, grid: ProcessorGrid, block: int | Sequence[int] = 4
+        cls,
+        template: Template,
+        grid: ProcessorGrid,
+        block: int | Sequence[int] = 4,
+        bases: Sequence[int] | None = None,
     ) -> "Distribution":
         blocks = [block] * grid.rank if isinstance(block, int) else list(block)
         return cls(
-            tuple(BlockCyclic(p, b) for p, b in zip(grid.shape, blocks))
+            tuple(
+                BlockCyclic(p, b, lo)
+                for p, b, lo in zip(grid.shape, blocks, _bases(grid, bases))
+            )
         )
 
     def map_cells(self, cells: Sequence[np.ndarray]) -> list[np.ndarray]:

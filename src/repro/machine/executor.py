@@ -18,7 +18,7 @@ from ..adg.graph import ADG, ADGEdge
 from ..align.cost import AlignmentMap
 from ..align.pipeline import AlignmentPlan
 from ..ir.symbols import LIV
-from .comm import MoveCount, count_move
+from .comm import MoveCount, _axis_positions, count_move
 from .distribution import Distribution
 from .template import ProcessorGrid, Template
 
@@ -73,6 +73,38 @@ def _shape_at(port, env: Mapping[LIV, int]) -> tuple[int, ...]:
     return tuple(out)
 
 
+def coordinate_bounds(
+    adg: ADG, alignments: AlignmentMap
+) -> tuple[tuple[int, int], ...]:
+    """Exact per-template-axis ``(lo, hi)`` cell bounds actually touched.
+
+    Walks every edge over its iteration space and takes the min/max
+    template coordinate reached by either endpoint's alignment on every
+    non-replicated axis.  Distributions sized from these bounds are
+    guaranteed to own every cell the traffic measurement will visit —
+    mobile offsets routinely push coordinates negative, so a heuristic
+    window anchored at 0 is not safe.  Untouched axes get ``(0, 0)``.
+    """
+    lo: list[int | None] = [None] * adg.template_rank
+    hi: list[int | None] = [None] * adg.template_rank
+    for e in adg.edges:
+        for env in e.space.points():
+            shape = _shape_at(e.tail, env)
+            for port in (e.tail, e.head):
+                align = alignments[id(port)]
+                pos = _axis_positions(align, shape, env)
+                for t, (ax, arr) in enumerate(zip(align.axes, pos)):
+                    if ax.is_replicated or arr.size == 0:
+                        continue
+                    a_lo, a_hi = int(arr.min()), int(arr.max())
+                    lo[t] = a_lo if lo[t] is None else min(lo[t], a_lo)
+                    hi[t] = a_hi if hi[t] is None else max(hi[t], a_hi)
+    return tuple(
+        (0, 0) if l is None else (l, h)  # type: ignore[misc]
+        for l, h in zip(lo, hi)
+    )
+
+
 def measure_traffic(
     adg: ADG,
     alignments: AlignmentMap,
@@ -121,8 +153,8 @@ def measure_plan(
 
     ``scheme`` in {"identity", "block", "cyclic", "block-cyclic"}; for
     non-identity schemes a processor grid must be given.  The template
-    window is sized from the largest offsets/extents in play — a small
-    overapproximation is harmless (empty cells own no data).
+    window is the exact :func:`coordinate_bounds` of the aligned traffic,
+    so the distribution owns every cell the measurement touches.
     """
     adg = plan.adg
     if dist is None:
@@ -131,25 +163,17 @@ def measure_plan(
         else:
             if processors is None:
                 raise ValueError("non-identity schemes need a processor grid")
-            window = tuple(
-                max(
-                    (
-                        max(d for d in decl.dims)
-                        for decl in plan.program.decls
-                    ),
-                    default=64,
-                )
-                * 2
-                for _ in range(adg.template_rank)
-            )
+            bounds = coordinate_bounds(adg, plan.alignments)
+            window = tuple(h - l + 1 for l, h in bounds)
+            bases = tuple(l for l, _ in bounds)
             template = Template.for_window(window)
             grid = ProcessorGrid(processors)
             if scheme == "block":
-                dist = Distribution.block(template, grid)
+                dist = Distribution.block(template, grid, bases)
             elif scheme == "cyclic":
-                dist = Distribution.cyclic(template, grid)
+                dist = Distribution.cyclic(template, grid, bases)
             elif scheme == "block-cyclic":
-                dist = Distribution.block_cyclic(template, grid)
+                dist = Distribution.block_cyclic(template, grid, bases=bases)
             else:
                 raise ValueError(f"unknown scheme {scheme!r}")
     return measure_traffic(adg, plan.alignments, dist)

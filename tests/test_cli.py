@@ -66,6 +66,28 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "machine (block):" in out
 
+    def test_distribute(self, prog_file, capsys):
+        assert main([prog_file, "--no-replication", "--distribute", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "distribution plan" in out
+        assert "DISTRIBUTE T(" in out
+        assert "naive" in out
+        assert "machine (planned):" in out
+
+    def test_distribute_phases(self, prog_file, capsys):
+        assert (
+            main(
+                [prog_file, "--no-replication", "--distribute", "4", "--phases"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "phased distribution plan" in out
+
+    def test_phases_requires_distribute(self, prog_file):
+        with pytest.raises(SystemExit):
+            main([prog_file, "--phases"])
+
     def test_subprocess_invocation(self, prog_file):
         res = subprocess.run(
             [sys.executable, "-m", "repro", prog_file, "--m", "3"],

@@ -1,0 +1,128 @@
+"""Unit tests for the distribution-planner cost model."""
+
+import numpy as np
+import pytest
+
+from repro.align import align_program
+from repro.distrib import CostVector, build_profile
+from repro.distrib.costmodel import window_extents
+from repro.lang import programs
+from repro.machine import (
+    Block,
+    Cyclic,
+    Distribution,
+    coordinate_bounds,
+    measure_traffic,
+)
+
+
+def _profile(prog, **kw):
+    plan = align_program(prog, **kw)
+    return plan, build_profile(plan.adg, plan.alignments)
+
+
+class TestCostVector:
+    def test_ordering_is_hops_first(self):
+        assert CostVector(1, 100, 100) < CostVector(2, 0, 0)
+        assert CostVector(1, 2, 0) < CostVector(1, 3, 0)
+
+    def test_addition(self):
+        c = CostVector(1, 2, 3) + CostVector(10, 20, 30)
+        assert c == CostVector(11, 22, 33)
+
+
+class TestBuildProfile:
+    def test_window_matches_executor_bounds(self):
+        plan, profile = _profile(programs.figure1(n=12), replication=False)
+        assert profile.window == coordinate_bounds(plan.adg, plan.alignments)
+        assert all(hi >= lo for lo, hi in profile.window)
+        assert window_extents(profile) == tuple(
+            hi - lo + 1 for lo, hi in profile.window
+        )
+
+    def test_static_moves_are_deduplicated(self):
+        # The stencil repeats the same shifted move every iteration:
+        # many moves, few distinct records.
+        _, profile = _profile(
+            programs.stencil_sweep(n=32, iters=8), replication=False
+        )
+        assert profile.total_moves > profile.distinct_moves
+
+    def test_mobile_moves_are_not_collapsed(self):
+        # figure1's loop-carried V shift changes coordinates with k.
+        _, profile = _profile(programs.figure1(n=8), replication=False)
+        assert profile.distinct_moves > 1
+
+    def test_broadcast_folded_in(self):
+        plan, profile = _profile(programs.figure4(nt=8, nk=6))
+        measured = measure_traffic(
+            plan.adg, plan.alignments, Distribution.identity(profile.template_rank)
+        )
+        assert profile.broadcast == measured.broadcast_elements == 8
+
+    def test_describe_mentions_counts(self):
+        _, profile = _profile(programs.example1(n=16))
+        text = profile.describe()
+        assert "records=" in text and "window=" in text
+
+
+class TestEvaluateExactness:
+    """The model must agree with the executor for ANY distribution."""
+
+    CASES = [
+        (lambda: programs.stencil_sweep(n=48, iters=3), dict(replication=False)),
+        (lambda: programs.figure1(n=12), dict(replication=False)),
+        (lambda: programs.skewed_wavefront(n=10), dict(replication=False)),
+        (lambda: programs.figure4(nt=8, nk=6), {}),
+    ]
+
+    @pytest.mark.parametrize("make,kw", CASES)
+    def test_identity_equals_executor_and_equation1(self, make, kw):
+        plan, profile = _profile(make(), **kw)
+        ident = Distribution.identity(profile.template_rank)
+        modeled = profile.evaluate(ident)
+        measured = measure_traffic(plan.adg, plan.alignments, ident)
+        assert modeled.hops == measured.hop_cost
+        assert modeled.moved == measured.elements_moved
+        assert modeled.broadcast == measured.broadcast_elements
+        # equation-1: identity hops plus the once-charged broadcasts
+        # equal the analytic alignment cost
+        assert modeled.hops + modeled.broadcast == plan.total_cost
+
+    @pytest.mark.parametrize("make,kw", CASES)
+    def test_block_and_cyclic_equal_executor(self, make, kw):
+        plan, profile = _profile(make(), **kw)
+        for scheme in ("block", "cyclic"):
+            axes = []
+            for lo, hi in profile.window:
+                ext = hi - lo + 1
+                if scheme == "block":
+                    axes.append(Block(4, max(1, -(-ext // 4)), lo))
+                else:
+                    axes.append(Cyclic(4, lo))
+            dist = Distribution(tuple(axes))
+            modeled = profile.evaluate(dist)
+            measured = measure_traffic(plan.adg, plan.alignments, dist)
+            assert modeled.hops == measured.hop_cost, scheme
+            assert modeled.moved == measured.elements_moved, scheme
+
+    def test_rank_mismatch_rejected(self):
+        _, profile = _profile(programs.example1(n=8))
+        with pytest.raises(ValueError, match="rank"):
+            profile.evaluate(Distribution.identity(profile.template_rank + 1))
+
+
+class TestAxisHops:
+    def test_axis_hops_sum_to_total(self):
+        # The L1 metric decomposes over axes: per-axis hop sums plus the
+        # distribution-independent fixed part equal the full evaluation.
+        _, profile = _profile(programs.figure1(n=10), replication=False)
+        axes = []
+        for lo, hi in profile.window:
+            ext = hi - lo + 1
+            axes.append(Block(2, max(1, -(-ext // 2)), lo))
+        dist = Distribution(tuple(axes))
+        per_axis = sum(
+            profile.axis_hops(t, ax) for t, ax in enumerate(dist.axes)
+        )
+        assert per_axis + profile.fixed.hops == profile.evaluate(dist).hops

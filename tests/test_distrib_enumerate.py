@@ -1,0 +1,96 @@
+"""Unit tests for distribution-candidate enumeration."""
+
+import pytest
+
+from repro.align import align_program
+from repro.distrib import (
+    axis_candidates,
+    balanced_factorization,
+    build_profile,
+    covering_block,
+    grid_factorizations,
+    naive_costs,
+    naive_distributions,
+    space_size,
+)
+from repro.distrib.plan import BLOCK, BLOCK_CYCLIC, CYCLIC
+from repro.lang import programs
+from repro.machine import Block, Cyclic, Identity
+
+
+class TestGridFactorizations:
+    def test_rank_one(self):
+        assert grid_factorizations(6, 1) == [(6,)]
+
+    def test_rank_two(self):
+        assert grid_factorizations(4, 2) == [(1, 4), (2, 2), (4, 1)]
+
+    def test_products_and_completeness(self):
+        grids = grid_factorizations(12, 3)
+        assert all(g[0] * g[1] * g[2] == 12 for g in grids)
+        assert len(grids) == len(set(grids))
+        # d(12)=6 divisors; ordered factorizations into 3 parts: 18
+        assert len(grids) == 18
+
+    def test_bad_input(self):
+        with pytest.raises(ValueError):
+            grid_factorizations(0, 1)
+        with pytest.raises(ValueError):
+            grid_factorizations(4, 0)
+
+    def test_balanced(self):
+        assert balanced_factorization(16, 2) == (4, 4)
+        assert balanced_factorization(8, 3) == (2, 2, 2)
+        assert balanced_factorization(7, 2) in [(1, 7), (7, 1)]
+
+
+class TestAxisCandidates:
+    def test_covering_block(self):
+        assert covering_block(100, 4) == 25
+        assert covering_block(10, 3) == 4
+        assert covering_block(1, 8) == 1
+
+    def test_single_processor_collapses(self):
+        cands = axis_candidates(0, 64, 1)
+        assert len(cands) == 1
+        assert cands[0].scheme == BLOCK and cands[0].block == 64
+
+    def test_schemes_present(self):
+        cands = axis_candidates(-3, 64, 4, block_sizes=(2, 4, 8))
+        schemes = [c.scheme for c in cands]
+        assert schemes.count(BLOCK) == 1
+        assert schemes.count(CYCLIC) == 1
+        assert schemes.count(BLOCK_CYCLIC) == 3
+        assert all(c.base == -3 for c in cands)
+        assert all(c.nprocs == 4 for c in cands)
+
+    def test_block_cyclic_sizes_filtered(self):
+        # covering block is 2, so no block-cyclic size fits strictly
+        # between cyclic (1) and block (2)
+        cands = axis_candidates(0, 8, 4, block_sizes=(2, 4, 8))
+        assert [c.scheme for c in cands] == [BLOCK, CYCLIC]
+
+
+class TestNaiveBaselines:
+    def _profile(self):
+        plan = align_program(programs.stencil_sweep(n=32, iters=2),
+                             replication=False)
+        return build_profile(plan.adg, plan.alignments)
+
+    def test_kinds(self):
+        dists = naive_distributions(self._profile(), 4)
+        assert isinstance(dists["all-block"].axes[0], Block)
+        assert isinstance(dists["all-cyclic"].axes[0], Cyclic)
+        assert isinstance(dists["identity"].axes[0], Identity)
+
+    def test_costs_keys(self):
+        costs = naive_costs(self._profile(), 4)
+        assert set(costs) == {"all-block", "all-cyclic", "identity"}
+        # the stencil's small shifts favour block over cyclic
+        assert costs["all-block"].hops < costs["all-cyclic"].hops
+
+    def test_space_size_counts(self):
+        profile = self._profile()
+        lo, hi = profile.window[0]
+        # rank 1: one factorization, so the space is one axis's candidates
+        assert space_size(profile, 4) == len(axis_candidates(lo, hi - lo + 1, 4))

@@ -1,0 +1,133 @@
+"""Unit tests for the distribution search (exact DP and local search)."""
+
+from itertools import product
+
+import pytest
+
+from repro.align import align_program
+from repro.distrib import (
+    build_profile,
+    naive_costs,
+    plan_distribution,
+    rank_plans,
+)
+from repro.distrib.enumerate import candidate_spaces
+from repro.distrib.plan import DistributionPlan
+from repro.distrib.search import _neighbor_grids, _prime_factors
+from repro.lang import programs
+from repro.machine import Distribution
+
+
+def _profile(prog, **kw):
+    plan = align_program(prog, **kw)
+    return build_profile(plan.adg, plan.alignments)
+
+
+def _brute_force_hops(profile, nprocs):
+    """Minimum modeled hops over the full candidate cross-product."""
+    best = None
+    for _, cands in candidate_spaces(profile, nprocs):
+        for combo in product(*cands):
+            dist = Distribution(
+                tuple(c.to_axis_distribution() for c in combo)
+            )
+            hops = profile.evaluate(dist).hops
+            if best is None or hops < best:
+                best = hops
+    return best
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize(
+        "make,kw,nprocs",
+        [
+            (lambda: programs.stencil_sweep(n=48, iters=2),
+             dict(replication=False), 4),
+            (lambda: programs.figure1(n=10), dict(replication=False), 4),
+            (lambda: programs.skewed_wavefront(n=8),
+             dict(replication=False), 6),
+        ],
+    )
+    def test_matches_brute_force(self, make, kw, nprocs):
+        profile = _profile(make(), **kw)
+        plan = plan_distribution(profile, nprocs)
+        assert plan.exact
+        assert plan.cost.hops == _brute_force_hops(profile, nprocs)
+
+    def test_plan_is_consistent(self):
+        profile = _profile(programs.figure1(n=10), replication=False)
+        plan = plan_distribution(profile, 8)
+        assert plan.num_processors == 8
+        assert plan.rank == profile.template_rank
+        # the reported cost is the plan's own evaluation
+        assert profile.evaluate(plan.to_distribution()) == plan.cost
+
+    def test_beats_or_matches_naive(self):
+        profile = _profile(programs.figure1(n=10), replication=False)
+        plan = plan_distribution(profile, 4)
+        assert plan.cost.hops <= min(
+            c.hops for c in naive_costs(profile, 4).values()
+        )
+
+
+class TestLocalSearch:
+    def test_fallback_used_when_space_too_big(self):
+        profile = _profile(
+            programs.stencil_sweep(n=32, iters=2), replication=False
+        )
+        plan = plan_distribution(profile, 4, exhaustive_limit=0)
+        assert not plan.exact
+        assert plan.searched > 0
+
+    def test_rank_one_fallback_is_still_optimal(self):
+        # With one template axis there is a single factorization and the
+        # greedy per-axis choice IS the optimum.
+        profile = _profile(
+            programs.stencil_sweep(n=32, iters=2), replication=False
+        )
+        exact = plan_distribution(profile, 4)
+        local = plan_distribution(profile, 4, exhaustive_limit=0)
+        assert local.cost.hops == exact.cost.hops
+
+    def test_two_dim_fallback_close_to_naive(self):
+        profile = _profile(programs.figure1(n=10), replication=False)
+        local = plan_distribution(profile, 4, exhaustive_limit=0, seed=1)
+        naive = naive_costs(profile, 4)
+        assert local.cost.hops <= min(
+            naive["all-block"].hops, naive["all-cyclic"].hops
+        )
+
+    def test_prime_factors(self):
+        assert _prime_factors(12) == [2, 2, 3]
+        assert _prime_factors(7) == [7]
+        assert _prime_factors(1) == []
+
+    def test_neighbor_grids_preserve_product(self):
+        for g in _neighbor_grids((4, 3)):
+            assert g[0] * g[1] == 12
+        assert (2, 6) in _neighbor_grids((4, 3))
+
+
+class TestRankPlans:
+    def test_sorted_and_distinct_grids(self):
+        profile = _profile(programs.figure1(n=10), replication=False)
+        plans = rank_plans(profile, 8, k=3)
+        assert len(plans) == 3
+        hops = [p.cost.hops for p in plans]
+        assert hops == sorted(hops)
+        assert len({p.grid for p in plans}) == 3
+
+    def test_best_agrees_with_planner(self):
+        profile = _profile(programs.figure1(n=10), replication=False)
+        assert (
+            rank_plans(profile, 4, k=1)[0].cost.hops
+            == plan_distribution(profile, 4).cost.hops
+        )
+
+    def test_window_override_widens_coverage(self):
+        profile = _profile(
+            programs.stencil_sweep(n=16, iters=2), replication=False
+        )
+        wide = ((profile.window[0][0] - 8, profile.window[0][1] + 8),)
+        plans = rank_plans(profile, 4, k=1, window=wide)
+        assert plans[0].axes[0].base == wide[0][0]

@@ -27,12 +27,12 @@ k = LIV("k", 0)
 class TestDistributions:
     def test_block_mapping(self):
         b = Block(nprocs=4, block=8)
-        cells = np.array([0, 7, 8, 31, 100])
-        assert list(b.map(cells)) == [0, 0, 1, 3, 3]
+        cells = np.array([0, 7, 8, 31])
+        assert list(b.map(cells)) == [0, 0, 1, 3]
 
     def test_cyclic_mapping(self):
         c = Cyclic(nprocs=4)
-        assert list(c.map(np.array([0, 1, 4, 5, -1]))) == [0, 1, 0, 1, 3]
+        assert list(c.map(np.array([0, 1, 4, 5]))) == [0, 1, 0, 1]
 
     def test_block_cyclic(self):
         bc = BlockCyclic(nprocs=2, block=3)
@@ -54,6 +54,42 @@ class TestDistributions:
         dst = [np.array([1, 2, 3, 4])]
         assert d.moved_mask(src, dst).all()
         assert d.hop_distance(src, dst).sum() == 1 + 1 + 1 + 3
+
+    def test_block_rejects_out_of_coverage(self):
+        b = Block(nprocs=4, block=8)  # covers [0, 32)
+        with pytest.raises(ValueError, match="outside covered range"):
+            b.map(np.array([0, 32]))
+        with pytest.raises(ValueError, match="below distribution base"):
+            b.map(np.array([-1, 3]))
+
+    def test_cyclic_rejects_below_base(self):
+        with pytest.raises(ValueError, match="below distribution base"):
+            Cyclic(nprocs=4).map(np.array([-1]))
+        with pytest.raises(ValueError, match="below distribution base"):
+            Cyclic(nprocs=4, base=10).map(np.array([9]))
+
+    def test_block_cyclic_rejects_below_base(self):
+        with pytest.raises(ValueError, match="below distribution base"):
+            BlockCyclic(nprocs=2, block=3).map(np.array([-5]))
+        # but any cell at/above base is in contract (cyclic wraps forever)
+        assert list(BlockCyclic(nprocs=2, block=3).map(np.array([10**6]))) == [1]
+
+    def test_base_shifts_coverage(self):
+        b = Block(nprocs=2, block=4, base=-8)  # covers [-8, 0)
+        assert list(b.map(np.array([-8, -5, -4, -1]))) == [0, 0, 1, 1]
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Block(nprocs=0, block=4)
+        with pytest.raises(ValueError):
+            Block(nprocs=4, block=0)
+        with pytest.raises(ValueError):
+            Cyclic(nprocs=0)
+        with pytest.raises(ValueError):
+            BlockCyclic(nprocs=2, block=-1)
+
+    def test_identity_allows_any_cell(self):
+        assert list(Identity().map(np.array([-7, 0, 7]))) == [-7, 0, 7]
 
     def test_processor_grid(self):
         g = ProcessorGrid((2, 3))
@@ -100,7 +136,8 @@ class TestCountMove:
     def test_block_absorbs_small_shift(self):
         a = Alignment.canonical(1, 1)
         b = a.with_offset(0, AffineForm(1))
-        d = Distribution((Block(nprocs=2, block=8),))
+        # cells span [1, 17]; blocks of 9 from base 1 cover [1, 19)
+        d = Distribution((Block(nprocs=2, block=9, base=1),))
         mc = count_move(a, b, (16,), {}, d)
         # only the elements at each block boundary cross processors
         assert mc.elements_moved == 1
