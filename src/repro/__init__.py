@@ -33,7 +33,10 @@ Subpackages:
   measures the communication the alignments imply;
 * :mod:`repro.distrib` — automatic distribution planning (the phase the
   paper defers): per-axis HPF scheme + processor-grid search over a
-  communication cost model exact against the simulator.
+  communication cost model exact against the simulator;
+* :mod:`repro.batch` — batched planning of program corpora over a
+  process pool, with memoized hot kernels (:mod:`repro.cachestats`) and
+  generated workloads (:mod:`repro.lang.generate`).
 """
 
 from .lang import ProgramBuilder, parse, pretty, typecheck
@@ -51,8 +54,9 @@ from .align import (
 )
 from .machine import Distribution, measure_plan, run_program
 from .distrib import DistributionPlan, build_profile, plan_distribution
+from .batch import BatchReport, PlanResult, plan_many, plan_one
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ProgramBuilder",
@@ -75,5 +79,9 @@ __all__ = [
     "DistributionPlan",
     "build_profile",
     "plan_distribution",
+    "BatchReport",
+    "PlanResult",
+    "plan_many",
+    "plan_one",
     "__version__",
 ]

@@ -6,17 +6,29 @@ Usage::
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
                          [--distribute P] [--phases]
+    python -m repro --batch <dir|count> [--jobs J] [--serial]
+                         [--batch-seed S] [--batch-json OUT.json]
+                         [--distribute P]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
 alignment pipeline, and prints the report; optionally renders the ADG,
 measures the plan on the machine simulator, or — the paper's deferred
 second phase — plans a distribution automatically for P processors
 (``--distribute``), per program phase with costed remaps (``--phases``).
+
+``--batch`` switches to the batched planning engine: the argument is
+either a directory of program sources (planned file by file) or an
+integer N (a generated N-program corpus from
+:mod:`repro.lang.generate`); programs are planned concurrently over a
+process pool and the aggregate report — throughput, failures, cache hit
+rates — is printed, optionally dumped as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .adg import to_dot
@@ -25,12 +37,70 @@ from .lang import parse
 from .machine import measure_plan
 
 
+def _run_batch(args, align_kw: dict) -> int:
+    from .batch import PlanRequest, plan_many
+    from .lang.generate import generate_corpus
+
+    if os.path.isdir(args.batch):
+        names = sorted(
+            f
+            for f in os.listdir(args.batch)
+            if os.path.isfile(os.path.join(args.batch, f))
+        )
+        if not names:
+            print(f"--batch: no program files in {args.batch}", file=sys.stderr)
+            return 1
+        # errors="replace": an unreadable (non-UTF-8) file becomes a
+        # parse failure diagnosed in the report, not a CLI traceback.
+        from pathlib import Path
+
+        corpus = [
+            PlanRequest(
+                name,
+                Path(args.batch, name).read_text(
+                    encoding="utf-8", errors="replace"
+                ),
+            )
+            for name in names
+        ]
+    else:
+        try:
+            count = int(args.batch)
+        except ValueError:
+            print(
+                f"--batch: {args.batch!r} is neither a directory nor a count",
+                file=sys.stderr,
+            )
+            return 1
+        if count < 1:
+            print("--batch: corpus count must be >= 1", file=sys.stderr)
+            return 1
+        corpus = generate_corpus(count, seed=args.batch_seed)
+    report = plan_many(
+        corpus,
+        nprocs=args.distribute,
+        jobs=args.jobs,
+        serial=args.serial,
+        align_kw=align_kw,
+        verify=True,
+    )
+    print(report.render())
+    if args.batch_json:
+        with open(args.batch_json, "w") as f:
+            json.dump(report.to_json(), f, indent=2)
+        print(f"batch report written to {args.batch_json}")
+    unverified = any(r.verified is False for r in report.results)
+    return 0 if not report.failures and not unverified else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="python -m repro",
         description="Mobile and replicated alignment analysis (SC'93)",
     )
-    ap.add_argument("file", help="program source, or '-' for stdin")
+    ap.add_argument(
+        "file", nargs="?", help="program source, or '-' for stdin"
+    )
     ap.add_argument(
         "--algorithm",
         default="fixed",
@@ -68,18 +138,73 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with --distribute: plan per program phase with costed remaps",
     )
+    ap.add_argument(
+        "--batch",
+        metavar="DIR|N",
+        help="batch mode: plan every program in a directory, or a "
+        "generated corpus of N programs",
+    )
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        help="worker processes for --batch (default: CPU count)",
+    )
+    ap.add_argument(
+        "--serial",
+        action="store_true",
+        help="with --batch: force the deterministic serial fallback",
+    )
+    ap.add_argument(
+        "--batch-seed",
+        type=int,
+        default=0,
+        help="seed for the generated corpus (default 0)",
+    )
+    ap.add_argument(
+        "--batch-json",
+        metavar="OUT",
+        help="with --batch: write the aggregate report as JSON",
+    )
     args = ap.parse_args(argv)
     if args.distribute is not None and args.distribute < 1:
         ap.error("--distribute needs at least 1 processor")
     if args.phases and args.distribute is None:
         ap.error("--phases requires --distribute")
-
-    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
-    program = parse(source, name=args.file)
+    if args.batch is None and args.file is None:
+        ap.error("a program file is required unless --batch is given")
+    if args.batch is not None:
+        for flag, present in [
+            ("a program file", args.file is not None),
+            ("--measure", args.measure is not None),
+            ("--dot", args.dot is not None),
+            ("--phases", args.phases),
+        ]:
+            if present:
+                ap.error(f"{flag} cannot be combined with --batch")
+    else:
+        for flag, present in [
+            ("--jobs", args.jobs is not None),
+            ("--serial", args.serial),
+            ("--batch-json", args.batch_json is not None),
+        ]:
+            if present:
+                ap.error(f"{flag} requires --batch")
 
     kw = {}
     if args.algorithm == "fixed":
         kw["m"] = args.m
+    if args.batch is not None:
+        align_kw = dict(
+            algorithm=args.algorithm,
+            replication=not args.no_replication,
+            mobile=not args.static,
+            **kw,
+        )
+        return _run_batch(args, align_kw)
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    program = parse(source, name=args.file)
+
     plan = align_program(
         program,
         algorithm=args.algorithm,

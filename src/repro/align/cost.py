@@ -21,8 +21,9 @@ from fractions import Fraction
 from typing import Mapping
 
 from ..adg.graph import ADG, ADGEdge, Port
+from ..cachestats import MISS, BoundedCache
 from ..ir.affine import AffineForm
-from ..ir.closedform import weighted_moments
+from ..ir.closedform import Moments, weighted_moments
 from ..ir.itspace import IterationSpace
 from ..ir.polynomial import Polynomial
 from .position import Alignment
@@ -32,6 +33,23 @@ AlignmentMap = dict[int, Alignment]  # keyed by id(port)
 
 _ENUM_LIMIT = 4096
 
+# Edge-cost construction is re-run per pipeline phase (objective
+# evaluation, assembly, breakdown) and per batched program; both the
+# moment sums and the absolute weighted spans are pure functions of
+# hashable (span, weight, space) values, so they memoize safely across
+# edges, phases and programs within a process.
+_MOMENTS = BoundedCache("align.moments", maxsize=4096)
+_SPANS = BoundedCache("align.edge_cost", maxsize=8192)
+
+
+def cached_moments(space: IterationSpace, weight: Polynomial) -> Moments:
+    """Memoized :func:`repro.ir.closedform.weighted_moments`."""
+    key = (space, weight)
+    m = _MOMENTS.lookup(key)
+    if m is MISS:
+        m = _MOMENTS.store(key, weighted_moments(space, weight))
+    return m  # type: ignore[return-value]
+
 
 def abs_weighted_span(
     span: AffineForm, weight: Polynomial, space: IterationSpace
@@ -39,8 +57,19 @@ def abs_weighted_span(
     """Exact ``sum_i weight(i) * |span(i)|`` over the space.
 
     Requires the weight to be nonnegative on the space (data weights
-    are element counts, so they are).
+    are element counts, so they are).  Memoized on the argument triple;
+    recursive sign-change splits share the cache.
     """
+    key = (span, weight, space)
+    cached = _SPANS.lookup(key)
+    if cached is not MISS:
+        return cached  # type: ignore[return-value]
+    return _SPANS.store(key, _abs_weighted_span(span, weight, space))  # type: ignore[return-value]
+
+
+def _abs_weighted_span(
+    span: AffineForm, weight: Polynomial, space: IterationSpace
+) -> Fraction:
     if space.is_empty():
         return Fraction(0)
     if space.depth == 0:
@@ -48,7 +77,7 @@ def abs_weighted_span(
             span.const
         ) * weight.evaluate({})
     if not has_sign_change(span, space):
-        m = weighted_moments(space, weight)
+        m = cached_moments(space, weight)
         return abs(m.span_sum(span.const, span.coeffs))
     if space.count <= _ENUM_LIMIT:
         total = Fraction(0)
@@ -85,7 +114,7 @@ def edge_cost(e: ADGEdge, alignments: Mapping[int, Alignment]) -> EdgeCost:
         ax.axis_signature() != ay.axis_signature()
         or ax.stride_signature() != ay.stride_signature()
     ):
-        m = weighted_moments(e.space, e.weight)
+        m = cached_moments(e.space, e.weight)
         return EdgeCost(e, "general", cw * m.m0)
     total = Fraction(0)
     kind = "aligned"
@@ -93,7 +122,7 @@ def edge_cost(e: ADGEdge, alignments: Mapping[int, Alignment]) -> EdgeCost:
         a1, a2 = ax.axes[tau], ay.axes[tau]
         if a2.is_replicated:
             if not a1.is_replicated:
-                m = weighted_moments(e.space, e.weight)
+                m = cached_moments(e.space, e.weight)
                 total += m.m0
                 kind = "broadcast"
             continue

@@ -1,0 +1,31 @@
+"""Batched planning engine: corpora of programs through the pipeline.
+
+The paper plans one program at a time; production service means planning
+many concurrently.  This subpackage provides:
+
+* :func:`plan_many` — fan a corpus out over a process pool (with a
+  deterministic serial fallback) and collect structured results;
+* :func:`plan_one` / :class:`PlanRequest` / :class:`PlanResult` — the
+  per-program unit of work and its diagnostics record;
+* :class:`BatchReport` — aggregate throughput, failures, and the
+  cache-hit counters of the memoized hot kernels
+  (:mod:`repro.cachestats`).
+
+Quickstart::
+
+    from repro.batch import plan_many
+    from repro.lang.generate import generate_corpus
+
+    report = plan_many(generate_corpus(100, seed=0), nprocs=16)
+    print(report.render())
+"""
+
+from .engine import BatchReport, PlanRequest, PlanResult, plan_many, plan_one
+
+__all__ = [
+    "BatchReport",
+    "PlanRequest",
+    "PlanResult",
+    "plan_many",
+    "plan_one",
+]

@@ -1,0 +1,302 @@
+"""Batched planning: many programs through the pipeline, concurrently.
+
+:func:`plan_many` takes a corpus of programs (source text,
+:class:`~repro.lang.ast.Program` values, or
+:class:`~repro.lang.generate.Scenario` records), plans each one with the
+full alignment + distribution pipeline, and returns a
+:class:`BatchReport` of structured :class:`PlanResult` records — cost,
+alignments, chosen distribution, wall time, failure diagnostics, and
+per-task cache-hit counters from :mod:`repro.cachestats`.
+
+Execution is a :class:`concurrent.futures.ProcessPoolExecutor` fan-out
+with a deterministic serial fallback (``jobs=1``, ``serial=True``, or
+any failure to spawn the pool): results are identical and arrive in
+corpus order either way, because planning itself is deterministic and
+``Executor.map`` preserves input order.  Work items cross the process
+boundary as source text, so nothing in the pipeline needs to pickle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Union
+
+from .. import cachestats
+from ..lang.ast import Program
+from ..lang.generate import Scenario
+from ..lang.parser import parse
+from ..lang.pretty import pretty
+
+Work = Union[str, Program, Scenario, "PlanRequest"]
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One unit of batch work: a named program source."""
+
+    name: str
+    source: str
+
+    @classmethod
+    def of(cls, item: Work, index: int) -> "PlanRequest":
+        if isinstance(item, PlanRequest):
+            return item
+        if isinstance(item, Scenario):
+            return cls(item.name, item.source)
+        if isinstance(item, Program):
+            return cls(item.name, pretty(item))
+        if isinstance(item, str):
+            return cls(f"program_{index}", item)
+        raise TypeError(f"cannot batch-plan {type(item).__name__}")
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Everything the engine decided about one program.
+
+    ``total_cost`` is the paper's equation-1 realignment cost as an
+    exact ``Fraction`` string; ``alignments`` maps each declared array
+    to the rendered alignment of its source port; ``distribution`` is
+    the HPF-style directive chosen by the planner (``None`` when the
+    batch ran without distribution planning).  ``cache`` holds the
+    cache-counter increments this task produced, and ``verified``
+    records the outcome of the optional differential check.
+    """
+
+    name: str
+    ok: bool
+    seconds: float
+    total_cost: Optional[str] = None
+    alignments: Mapping[str, str] = field(default_factory=dict)
+    distribution: Optional[str] = None
+    dist_hops: Optional[int] = None
+    dist_moved: Optional[int] = None
+    dist_exact: Optional[bool] = None
+    error: Optional[str] = None
+    verified: Optional[bool] = None
+    cache: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+
+
+def plan_one(
+    request: PlanRequest,
+    nprocs: int | None = 4,
+    align_kw: Mapping | None = None,
+    distrib_options: Mapping | None = None,
+    verify: bool = False,
+) -> PlanResult:
+    """Plan a single program; never raises — failures become diagnostics."""
+    from ..align.pipeline import align_program
+    from ..distrib import build_profile, plan_distribution
+
+    before = cachestats.snapshot()
+    t0 = time.perf_counter()
+    try:
+        program = parse(request.source, name=request.name)
+        plan = align_program(program, **dict(align_kw or {}))
+        alignments = {
+            arr: repr(al) for arr, al in sorted(plan.source_alignments().items())
+        }
+        directive = hops = moved = exact = None
+        profile = None
+        if nprocs is not None:
+            profile = build_profile(plan.adg, plan.alignments)
+            dplan = plan_distribution(profile, nprocs, **dict(distrib_options or {}))
+            plan.distribution = dplan
+            directive = dplan.directive()
+            hops, moved = dplan.cost.hops, dplan.cost.moved
+            exact = dplan.exact
+        verified = None
+        if verify:
+            verified = _verify(plan, profile)
+        return PlanResult(
+            name=request.name,
+            ok=True,
+            seconds=time.perf_counter() - t0,
+            total_cost=str(plan.total_cost),
+            alignments=alignments,
+            distribution=directive,
+            dist_hops=hops,
+            dist_moved=moved,
+            dist_exact=exact,
+            verified=verified,
+            cache=cachestats.delta(before),
+        )
+    except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+        return PlanResult(
+            name=request.name,
+            ok=False,
+            seconds=time.perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+            cache=cachestats.delta(before),
+        )
+
+
+def _verify(plan, profile) -> bool:
+    """The differential cross-check, inline: analytic cost == simulator.
+
+    Under the identity distribution the measured hop count plus
+    broadcast elements must equal the equation-1 cost whenever no edge
+    is general communication, and the compiled profile must agree with
+    the executor's counts exactly (general edges included).
+    """
+    from ..machine.distribution import Distribution
+    from ..machine.executor import measure_traffic
+
+    rep = measure_traffic(
+        plan.adg, plan.alignments, Distribution.identity(plan.adg.template_rank)
+    )
+    if all(not t.count.general for t in rep.edges):
+        if plan.total_cost != rep.hop_cost + rep.broadcast_elements:
+            return False
+    if profile is not None:
+        cv = profile.evaluate(Distribution.identity(profile.template_rank))
+        if (
+            cv.hops != rep.hop_cost
+            or cv.moved != rep.elements_moved
+            or cv.broadcast != rep.broadcast_elements
+        ):
+            return False
+    return True
+
+
+def _worker(payload: tuple) -> PlanResult:
+    request, nprocs, align_kw, distrib_options, verify = payload
+    return plan_one(request, nprocs, align_kw, distrib_options, verify)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :func:`plan_many` run."""
+
+    results: list[PlanResult]
+    seconds: float
+    jobs: int
+    mode: str  # "process" or "serial"
+    # Why a requested process run degraded to serial (pool spawn failure,
+    # broken pool mid-run, ...); None for a clean run.
+    fallback_reason: Optional[str] = None
+
+    @property
+    def ok(self) -> list[PlanResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failures(self) -> list[PlanResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def throughput(self) -> float:
+        """Programs planned per wall-clock second."""
+        return len(self.results) / self.seconds if self.seconds else 0.0
+
+    def cache_totals(self) -> dict[str, tuple[int, int]]:
+        totals: dict[str, tuple[int, int]] = {}
+        for r in self.results:
+            cachestats.merge(totals, r.cache)
+        return totals
+
+    def cache_hit_rates(self) -> dict[str, float]:
+        return cachestats.hit_rate(self.cache_totals())
+
+    def to_json(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "jobs": self.jobs,
+            "mode": self.mode,
+            "fallback_reason": self.fallback_reason,
+            "programs": len(self.results),
+            "ok": len(self.ok),
+            "failed": len(self.failures),
+            "throughput": self.throughput,
+            "cache": {
+                name: {"hits": h, "misses": m}
+                for name, (h, m) in sorted(self.cache_totals().items())
+            },
+            "results": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "seconds": r.seconds,
+                    "total_cost": r.total_cost,
+                    "distribution": r.distribution,
+                    "dist_hops": r.dist_hops,
+                    "dist_moved": r.dist_moved,
+                    "dist_exact": r.dist_exact,
+                    "verified": r.verified,
+                    "error": r.error,
+                }
+                for r in self.results
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"batch: {len(self.results)} programs in {self.seconds:.2f}s "
+            f"({self.throughput:.1f}/s, {self.mode}, jobs={self.jobs}); "
+            f"{len(self.ok)} ok, {len(self.failures)} failed",
+        ]
+        if self.fallback_reason:
+            lines.append(
+                f"  WARNING: process pool unavailable, fell back to "
+                f"serial ({self.fallback_reason})"
+            )
+        totals = self.cache_totals()
+        rates = cachestats.hit_rate(totals)
+        for name, (h, m) in sorted(totals.items()):
+            lines.append(
+                f"  cache {name:22s} hits={h:8d} misses={m:8d} "
+                f"rate={rates[name]:.1%}"
+            )
+        for r in self.failures:
+            lines.append(f"  FAILED {r.name}: {r.error}")
+        unverified = [r for r in self.ok if r.verified is False]
+        for r in unverified:
+            lines.append(f"  UNVERIFIED {r.name}: model/simulator mismatch")
+        return "\n".join(lines)
+
+
+def plan_many(
+    corpus: Iterable[Work],
+    nprocs: int | None = 4,
+    jobs: int | None = None,
+    serial: bool = False,
+    align_kw: Mapping | None = None,
+    distrib_options: Mapping | None = None,
+    verify: bool = False,
+) -> BatchReport:
+    """Plan every program in ``corpus``; results in corpus order.
+
+    ``jobs`` defaults to the machine's CPU count.  ``serial=True`` (or
+    ``jobs=1``) runs the same work inline — the deterministic fallback —
+    and any failure to spawn the pool degrades to it silently, so
+    ``plan_many`` works in restricted environments.
+    """
+    requests = [PlanRequest.of(item, i) for i, item in enumerate(corpus)]
+    payloads = [
+        (req, nprocs, dict(align_kw or {}), dict(distrib_options or {}), verify)
+        for req in requests
+    ]
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    jobs = max(1, min(jobs, len(requests) or 1))
+    t0 = time.perf_counter()
+    if serial or jobs == 1:
+        results = [_worker(p) for p in payloads]
+        return BatchReport(results, time.perf_counter() - t0, 1, "serial")
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            chunk = max(1, len(payloads) // (4 * jobs))
+            results = list(pool.map(_worker, payloads, chunksize=chunk))
+    except (OSError, ValueError, RuntimeError) as exc:
+        # No usable pool (sandboxed environment, worker killed mid-run,
+        # interpreter teardown…): fall back to the serial path — same
+        # results, same order — but say so in the report.
+        reason = f"{type(exc).__name__}: {exc}"
+        t0 = time.perf_counter()
+        results = [_worker(p) for p in payloads]
+        return BatchReport(
+            results, time.perf_counter() - t0, 1, "serial", fallback_reason=reason
+        )
+    return BatchReport(results, time.perf_counter() - t0, jobs, "process")

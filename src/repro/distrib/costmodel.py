@@ -33,9 +33,59 @@ import numpy as np
 
 from ..adg.graph import ADG
 from ..align.cost import AlignmentMap
+from ..align.position import Alignment
+from ..cachestats import MISS, BoundedCache, _cell
 from ..machine.comm import _axis_positions
 from ..machine.distribution import AxisDistribution, Distribution
 from ..machine.executor import _shape_at
+
+# Move-record compilation re-builds the same per-axis coordinate arrays
+# once per iteration point even when the evaluated strides/offsets are
+# identical across points (every static-offset edge).  The arrays are
+# pure functions of (shape, per-axis evaluated numbers), so they cache
+# across points, edges and programs.  Cached arrays are shared and must
+# be treated as read-only by all consumers.
+_POSITIONS = BoundedCache("distrib.move_records", maxsize=2048)
+_AXIS_HOPS_STATS = _cell("distrib.axis_hops")
+
+
+def _axis_key(align: Alignment, env) -> tuple:
+    parts = []
+    for ax in align.axes:
+        if ax.is_replicated:
+            parts.append("R")
+        elif ax.is_body:
+            assert ax.stride is not None
+            parts.append(
+                (
+                    ax.array_axis,
+                    int(ax.stride.evaluate(env)),
+                    int(ax.offset.evaluate(env)),
+                )
+            )
+        else:
+            parts.append((None, int(ax.offset.evaluate(env))))
+    return tuple(parts)
+
+
+def _cached_axis_positions(
+    align: Alignment, shape: tuple[int, ...], env
+) -> list[np.ndarray]:
+    """Memoized :func:`repro.machine.comm._axis_positions`.
+
+    Keyed on the *evaluated* per-axis numbers (matching the ``int()``
+    casts inside ``_axis_positions``), not on the LIV environment, so
+    static offsets hit once per distinct geometry instead of once per
+    iteration point.
+    """
+    key = (shape, _axis_key(align, env))
+    pos = _POSITIONS.lookup(key)
+    if pos is MISS:
+        arrays = _axis_positions(align, shape, env)
+        for a in arrays:
+            a.setflags(write=False)  # shared cache entries: enforce read-only
+        pos = _POSITIONS.store(key, arrays)
+    return pos  # type: ignore[return-value]
 
 
 @dataclass(frozen=True, order=True)
@@ -94,6 +144,11 @@ class CommProfile:
     # General (axis/stride-mismatch) moves, counted per iteration point —
     # unlike TrafficReport.general_edges, which counts edges.
     general_moves: int = 0
+    # Per-profile memo of axis_hops results: the search layer re-prices
+    # the same (axis, candidate) pair once per grid factorization and
+    # again per local-search restart.  Keyed on the candidate's scheme
+    # parameters; excluded from equality/repr.
+    _hops_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- evaluation --------------------------------------------------------
 
@@ -120,6 +175,15 @@ class CommProfile:
         is fixed — this is what makes the exhaustive search a per-axis
         dynamic program rather than a cross-product sweep.
         """
+        # Axis distributions are frozen value objects, so the instance
+        # itself is the key: every scheme parameter participates, and a
+        # future scheme class can never collide with an existing one.
+        key = (axis, axdist)
+        cached = self._hops_cache.get(key)
+        if cached is not None:
+            _AXIS_HOPS_STATS[0] += 1
+            return cached
+        _AXIS_HOPS_STATS[1] += 1
         total = 0
         for r in self.records:
             if axis not in r.axes:
@@ -127,6 +191,9 @@ class CommProfile:
             j = r.axes.index(axis)
             d = axdist.processor_coordinate_distance(r.src[j], r.dst[j])
             total += int(np.sum(d)) * r.count
+        if len(self._hops_cache) >= 4096:
+            self._hops_cache.clear()
+        self._hops_cache[key] = total
         return total
 
     # -- introspection -----------------------------------------------------
@@ -177,8 +244,8 @@ def build_profile(adg: ADG, alignments: AlignmentMap) -> CommProfile:
             profile.elements += n
             src = alignments[id(e.tail)]
             dst = alignments[id(e.head)]
-            src_pos = _axis_positions(src, shape, env)
-            dst_pos = _axis_positions(dst, shape, env)
+            src_pos = _cached_axis_positions(src, shape, env)
+            dst_pos = _cached_axis_positions(dst, shape, env)
             # Window bounds (same rule as executor.coordinate_bounds,
             # folded into this walk): min/max coordinate of either
             # endpoint on every non-replicated axis.

@@ -16,9 +16,16 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Iterable, Mapping, Union
 
+from ..cachestats import _cell
 from .symbols import LIV
 
 Scalar = Union[int, Fraction]
+
+# Shared hit/miss counters for the per-instance evaluation caches
+# (see cachestats): [hits, misses], surfaced as "affine.evaluate".
+_EVAL_STATS = _cell("affine.evaluate")
+_EVAL_CACHE_LIMIT = 512
+_MISS = object()
 
 
 def _frac(x: Scalar) -> Fraction:
@@ -39,7 +46,7 @@ class AffineForm:
     zero.  Supports +, -, scalar *, substitution, and evaluation.
     """
 
-    __slots__ = ("_const", "_coeffs")
+    __slots__ = ("_const", "_coeffs", "_ecache")
 
     def __init__(
         self,
@@ -54,6 +61,10 @@ class AffineForm:
                 if fc != 0:
                     cleaned[liv] = fc
         self._coeffs = cleaned
+        # Per-instance evaluation memo, keyed on the tuple of bound LIV
+        # values (the instance itself is immutable).  Created lazily so
+        # short-lived forms pay nothing.
+        self._ecache: dict[tuple, Fraction] | None = None
 
     # -- constructors -------------------------------------------------
 
@@ -137,12 +148,31 @@ class AffineForm:
     # -- evaluation and substitution ------------------------------------
 
     def evaluate(self, env: Mapping[LIV, Scalar]) -> Fraction:
-        """Evaluate at a point; every LIV with nonzero coefficient must be bound."""
+        """Evaluate at a point; every LIV with nonzero coefficient must be bound.
+
+        Results are memoized per instance, keyed on the values the form
+        actually depends on — batch planning evaluates the same handful
+        of offset/stride/extent forms at the same iteration points over
+        and over (once per edge walk, again per candidate distribution).
+        """
+        try:
+            key = tuple(env[liv] for liv in self._coeffs)
+        except KeyError as exc:
+            raise KeyError(f"unbound LIV {exc.args[0].name} in evaluation") from None
+        cache = self._ecache
+        if cache is None:
+            cache = self._ecache = {}
+        total = cache.get(key, _MISS)
+        if total is not _MISS:
+            _EVAL_STATS[0] += 1
+            return total  # type: ignore[return-value]
+        _EVAL_STATS[1] += 1
         total = self._const
         for liv, c in self._coeffs.items():
-            if liv not in env:
-                raise KeyError(f"unbound LIV {liv.name} in evaluation")
             total += c * _frac(env[liv])
+        if len(cache) >= _EVAL_CACHE_LIMIT:
+            cache.clear()
+        cache[key] = total
         return total
 
     def substitute(self, env: Mapping[LIV, "AffineForm | Scalar"]) -> "AffineForm":
@@ -188,6 +218,15 @@ class AffineForm:
         return AffineForm(
             round(self._const), {v: Fraction(round(c)) for v, c in self._coeffs.items()}
         )
+
+    # -- pickling (drop the evaluation memo) --------------------------------
+
+    def __getstate__(self):
+        return (self._const, self._coeffs)
+
+    def __setstate__(self, state) -> None:
+        self._const, self._coeffs = state
+        self._ecache = None
 
     # -- equality, hashing, display ----------------------------------------
 

@@ -73,7 +73,7 @@ class AxisDistribution:
         return np.abs(self.map(a) - self.map(b))
 
 
-@dataclass
+@dataclass(frozen=True)
 class Block(AxisDistribution):
     """Contiguous blocks of ``block`` cells per processor, from ``base``.
 
@@ -99,7 +99,7 @@ class Block(AxisDistribution):
         return rel // self.block
 
 
-@dataclass
+@dataclass(frozen=True)
 class Cyclic(AxisDistribution):
     """Cell c lives on processor ``(c - base) mod nprocs``."""
 
@@ -115,7 +115,7 @@ class Cyclic(AxisDistribution):
         return np.mod(rel, self.nprocs)
 
 
-@dataclass
+@dataclass(frozen=True)
 class BlockCyclic(AxisDistribution):
     """Blocks of ``block`` cells dealt cyclically to processors."""
 
@@ -132,7 +132,7 @@ class BlockCyclic(AxisDistribution):
         return np.mod(rel // self.block, self.nprocs)
 
 
-@dataclass
+@dataclass(frozen=True)
 class Identity(AxisDistribution):
     """One processor per template cell: the cost-model-exact machine.
 

@@ -1,0 +1,54 @@
+"""Shared pytest plumbing: golden snapshot files.
+
+``pytest --update-golden`` rewrites the files under ``tests/golden/``
+from the current plans instead of comparing against them; commit the
+diff deliberately.  Without the flag, a missing or mismatching golden
+file fails the test with instructions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from current plans",
+    )
+
+
+class GoldenChecker:
+    def __init__(self, update: bool) -> None:
+        self.update = update
+
+    def check(self, name: str, data: dict) -> None:
+        """Compare ``data`` to the stored snapshot (or rewrite it)."""
+        path = GOLDEN_DIR / f"{name}.json"
+        if self.update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden snapshot {path} missing — run "
+                f"`pytest --update-golden` and commit the result"
+            )
+        stored = json.loads(path.read_text())
+        assert data == stored, (
+            f"plan for {name!r} drifted from its golden snapshot "
+            f"({path}); if the change is intended, rerun with "
+            f"--update-golden and review the diff"
+        )
+
+
+@pytest.fixture
+def golden(request: pytest.FixtureRequest) -> GoldenChecker:
+    return GoldenChecker(request.config.getoption("--update-golden"))

@@ -1,0 +1,194 @@
+"""The batched planning engine, and the memoization-hygiene audit.
+
+Covers :mod:`repro.batch` (ordering, serial/process determinism,
+failure diagnostics, cache counters, report rendering) and the cache
+rules the engine relies on: no ``lru_cache`` on bound methods anywhere
+in the package (they pin ``self`` forever), bounded module-level
+caches, and no growth of memory-resident plan objects across repeated
+batch runs.
+"""
+
+from __future__ import annotations
+
+import functools
+import gc
+import importlib
+import inspect
+import json
+import pkgutil
+import weakref
+
+import pytest
+
+import repro
+from repro import cachestats
+from repro.batch import BatchReport, PlanRequest, plan_many, plan_one
+from repro.lang.generate import GeneratorConfig, generate_corpus, generate_scenario
+
+
+class TestGenerate:
+    def test_corpus_is_deterministic_and_prefix_stable(self):
+        a = generate_corpus(10, seed=5)
+        b = generate_corpus(10, seed=5)
+        assert [s.source for s in a] == [s.source for s in b]
+        # Growing the corpus keeps the prefix.
+        c = generate_corpus(20, seed=5)
+        assert [s.source for s in c[:10]] == [s.source for s in a]
+
+    def test_families_cycle(self):
+        corpus = generate_corpus(14, seed=0)
+        assert len({s.family for s in corpus}) == 7
+
+    def test_family_restriction(self):
+        cfg = GeneratorConfig(families=("twod", "wavefront"))
+        corpus = generate_corpus(6, seed=0, config=cfg)
+        assert {s.family for s in corpus} == {"twod", "wavefront"}
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            generate_scenario(0, family="nope")
+
+
+class TestPlanOne:
+    def test_success_record(self):
+        sc = generate_scenario(1, family="wavefront")
+        r = plan_one(PlanRequest(sc.name, sc.source), nprocs=4, verify=True)
+        assert r.ok and r.error is None
+        assert r.total_cost is not None and r.distribution is not None
+        assert r.verified is True
+        assert r.seconds > 0
+        assert r.alignments  # every declared array rendered
+
+    def test_failure_is_diagnosed_not_raised(self):
+        r = plan_one(PlanRequest("broken", "real A(0)"), nprocs=4)
+        assert not r.ok
+        assert r.error and "ValueError" in r.error
+
+    def test_no_distribution_when_nprocs_none(self):
+        sc = generate_scenario(2, family="shift1d")
+        r = plan_one(PlanRequest(sc.name, sc.source), nprocs=None)
+        assert r.ok and r.distribution is None
+
+
+class TestPlanMany:
+    CORPUS = generate_corpus(8, seed=3)
+
+    def test_serial_and_process_agree_in_order_and_content(self):
+        serial = plan_many(self.CORPUS, nprocs=4, serial=True)
+        procs = plan_many(self.CORPUS, nprocs=4, jobs=2)
+        assert serial.mode == "serial" and len(serial.results) == 8
+        assert [r.name for r in serial.results] == [s.name for s in self.CORPUS]
+        assert [r.name for r in procs.results] == [r.name for r in serial.results]
+        assert [r.total_cost for r in procs.results] == [
+            r.total_cost for r in serial.results
+        ]
+        assert [r.distribution for r in procs.results] == [
+            r.distribution for r in serial.results
+        ]
+
+    def test_failures_do_not_poison_the_batch(self):
+        corpus = [self.CORPUS[0], "syntactic junk (", self.CORPUS[1]]
+        report = plan_many(corpus, nprocs=4, serial=True)
+        assert [r.ok for r in report.results] == [True, False, True]
+        assert report.failures[0].error
+        assert "FAILED" in report.render()
+
+    def test_cache_counters_surface_in_report(self):
+        report = plan_many(self.CORPUS, nprocs=4, serial=True)
+        totals = report.cache_totals()
+        assert totals.get("affine.evaluate", (0, 0))[0] > 0
+        assert totals.get("distrib.move_records", (0, 0))[0] > 0
+        rates = report.cache_hit_rates()
+        assert 0.0 <= min(rates.values()) and max(rates.values()) <= 1.0
+        rendered = report.render()
+        assert "cache affine.evaluate" in rendered
+        assert report.throughput > 0
+
+    def test_report_json_round_trips(self):
+        report = plan_many(self.CORPUS[:3], nprocs=4, serial=True, verify=True)
+        blob = json.loads(json.dumps(report.to_json()))
+        assert blob["programs"] == 3 and blob["ok"] == 3
+        assert len(blob["results"]) == 3
+        assert blob["results"][0]["verified"] is True
+
+    def test_program_and_source_inputs(self):
+        from repro.lang import programs
+
+        report = plan_many(
+            [programs.example1(), "real A(4)\nA(1:4) = A(1:4) + 1.0"],
+            nprocs=None,
+            serial=True,
+        )
+        assert all(r.ok for r in report.results)
+        assert report.results[0].name == "example1"
+
+
+class TestCacheHygiene:
+    def test_no_lru_cache_on_bound_methods_anywhere(self):
+        """functools caches on methods leak every ``self`` they see.
+
+        Audits every class in every repro module: no class attribute may
+        be an ``lru_cache``/``cache`` wrapper whose wrapped function
+        takes ``self`` (module-level cached functions are fine).
+        """
+        offenders = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            mod = importlib.import_module(info.name)
+            for _, cls in inspect.getmembers(mod, inspect.isclass):
+                if cls.__module__ != mod.__name__:
+                    continue
+                for attr, val in vars(cls).items():
+                    if isinstance(val, functools._lru_cache_wrapper):
+                        sig = inspect.signature(val.__wrapped__)
+                        if "self" in sig.parameters:
+                            offenders.append(f"{cls.__module__}.{cls.__name__}.{attr}")
+        assert not offenders, offenders
+
+    def test_polynomial_module_cache_is_not_a_method(self):
+        from repro.ir.polynomial import _bernoulli
+
+        assert isinstance(_bernoulli, functools._lru_cache_wrapper)
+        assert "self" not in inspect.signature(_bernoulli.__wrapped__).parameters
+
+    def test_repeated_batch_runs_do_not_grow_plan_objects(self):
+        """Module caches must never keep whole plans (or their ADGs) alive."""
+        from repro.adg.graph import ADG
+        from repro.align.pipeline import AlignmentPlan
+
+        corpus = generate_corpus(6, seed=11)
+        plan_many(corpus, nprocs=4, serial=True)  # warm every cache
+        gc.collect()
+        baseline = sum(
+            isinstance(o, (AlignmentPlan, ADG)) for o in gc.get_objects()
+        )
+        for _ in range(3):
+            plan_many(corpus, nprocs=4, serial=True)
+        gc.collect()
+        after = sum(isinstance(o, (AlignmentPlan, ADG)) for o in gc.get_objects())
+        assert after <= baseline, (baseline, after)
+
+    def test_plan_is_collectable_after_use(self):
+        from repro.align import align_program
+
+        sc = generate_scenario(4, family="twod")
+        plan = align_program(sc.parse())
+        ref = weakref.ref(plan)
+        del plan
+        gc.collect()
+        assert ref() is None
+
+    def test_module_caches_stay_bounded(self):
+        corpus = generate_corpus(10, seed=13)
+        plan_many(corpus, nprocs=4, serial=True)
+        sizes = cachestats.cache_sizes()
+        assert sizes  # the registry saw the batch
+        from repro.align.cost import _MOMENTS, _SPANS
+        from repro.distrib.costmodel import _POSITIONS
+
+        for cache in (_MOMENTS, _SPANS, _POSITIONS):
+            assert len(cache) <= cache.maxsize
+
+    def test_clear_caches_empties_everything(self):
+        plan_many(generate_corpus(2, seed=17), nprocs=4, serial=True)
+        cachestats.clear_caches()
+        assert all(n == 0 for n in cachestats.cache_sizes().values())

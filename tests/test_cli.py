@@ -97,3 +97,76 @@ class TestCLI:
         )
         assert res.returncode == 0
         assert "total realignment cost" in res.stdout
+
+
+class TestBatchCLI:
+    def test_generated_corpus(self, tmp_path, capsys):
+        out_json = tmp_path / "batch.json"
+        assert (
+            main(
+                [
+                    "--batch",
+                    "6",
+                    "--distribute",
+                    "4",
+                    "--serial",
+                    "--batch-json",
+                    str(out_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "batch: 6 programs" in out
+        assert "cache affine.evaluate" in out
+        import json
+
+        blob = json.loads(out_json.read_text())
+        assert blob["programs"] == 6 and blob["ok"] == 6
+
+    def test_directory_corpus(self, tmp_path, capsys):
+        d = tmp_path / "corpus"
+        d.mkdir()
+        (d / "a.dp").write_text(FIG1)
+        (d / "b.dp").write_text("real A(8)\nA(1:8) = A(1:8) + 1.0\n")
+        assert main(["--batch", str(d), "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 programs" in out
+
+    def test_failures_set_exit_code(self, tmp_path, capsys):
+        d = tmp_path / "corpus"
+        d.mkdir()
+        (d / "bad.dp").write_text("this is junk (\n")
+        assert main(["--batch", str(d), "--serial"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_file_required_without_batch(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_batch_rejects_single_program_flags(self, prog_file):
+        for extra in (
+            [prog_file],
+            ["--measure", "identity"],
+            ["--dot", "/tmp/x.dot"],
+            ["--distribute", "4", "--phases"],
+        ):
+            with pytest.raises(SystemExit):
+                main(["--batch", "2", *extra])
+
+    def test_bad_batch_argument(self, capsys):
+        assert main(["--batch", "/definitely/not/there"]) == 1
+
+    def test_nonpositive_count_rejected(self, capsys):
+        assert main(["--batch", "0"]) == 1
+        assert main(["--batch", "-5"]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_non_utf8_file_is_diagnosed_not_crashed(self, tmp_path, capsys):
+        d = tmp_path / "corpus"
+        d.mkdir()
+        (d / "good.dp").write_text("real A(8)\nA(1:8) = A(1:8) + 1.0\n")
+        (d / "junk.bin").write_bytes(b"\xff\xfe\x00garbage\x80")
+        assert main(["--batch", str(d), "--serial"]) == 1
+        out = capsys.readouterr().out
+        assert "1 ok, 1 failed" in out and "FAILED junk.bin" in out

@@ -1,7 +1,10 @@
 """Integration tests: every quantitative claim in the paper, end to end.
 
 Each test cites the paper location it reproduces; EXPERIMENTS.md points
-back here.
+back here.  The golden-snapshot class at the bottom pins every paper
+example's full plan (costs, offsets, strides, schemes) to
+``tests/golden/*.json`` so refactors cannot silently shift the numbers;
+regenerate deliberately with ``pytest --update-golden``.
 """
 
 from fractions import Fraction
@@ -9,7 +12,7 @@ from fractions import Fraction
 import pytest
 
 from repro.adg import build_adg
-from repro.align import align_program, solve_axis_stride
+from repro.align import align_and_distribute, align_program, solve_axis_stride
 from repro.align.offset_mobile import fixed_partitioning, unrolling
 from repro.lang import programs
 from repro.machine import measure_plan
@@ -162,3 +165,59 @@ class TestEquation1Validation:
         nongeneral = all(not t.count.general for t in rep.edges)
         if nongeneral:
             assert rep.hop_cost == plan.total_cost
+
+
+def plan_snapshot(plan) -> dict:
+    """A JSON-stable projection of everything the pipeline decided.
+
+    Exact rationals are serialized as strings; alignments via their
+    canonical repr (axis/stride/offset/replication all visible).
+    """
+    snap = {
+        "program": plan.program.name,
+        "total_cost": str(plan.total_cost),
+        "axis_stride_cost": str(plan.axis_stride.cost),
+        "replication_rounds": plan.replication_rounds,
+        "alignments": {
+            arr: repr(al) for arr, al in sorted(plan.source_alignments().items())
+        },
+    }
+    if plan.distribution is not None:
+        d = plan.distribution
+        snap["distribution"] = {
+            "directive": d.directive(),
+            "grid": list(d.grid),
+            "exact": d.exact,
+            "axes": [
+                {
+                    "scheme": a.scheme,
+                    "nprocs": a.nprocs,
+                    "block": a.block,
+                    "base": a.base,
+                }
+                for a in d.axes
+            ],
+            "cost": {
+                "hops": d.cost.hops,
+                "moved": d.cost.moved,
+                "broadcast": d.cost.broadcast,
+            },
+        }
+    return snap
+
+
+class TestGoldenSnapshots:
+    """Every paper example's full plan, pinned to tests/golden/*.json.
+
+    A refactor that shifts any paper number — total cost, an offset, a
+    stride, the chosen distribution — fails here even if the coarser
+    claim-level assertions above still hold.
+    """
+
+    NPROCS = 4
+
+    @pytest.mark.parametrize("name", sorted(programs.ALL_PAPER_FRAGMENTS))
+    def test_plan_matches_golden(self, name, golden):
+        prog = programs.ALL_PAPER_FRAGMENTS[name]()
+        plan = align_and_distribute(prog, self.NPROCS)
+        golden.check(name, plan_snapshot(plan))
