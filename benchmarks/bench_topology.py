@@ -1,0 +1,132 @@
+"""T1 — Topology sweep: the paper examples planned on five machines.
+
+Plans every paper example across all five interconnect models (grid,
+torus, ring, hypercube, hierarchical) at the same processor count and
+tabulates the chosen distribution and its modeled hop cost per machine.
+The assertions encode the subsystem's contract:
+
+* the grid machine reproduces the default planner bit-for-bit;
+* the model stays exact against the simulator on every topology;
+* at least one example provably changes its chosen plan on a non-grid
+  machine (the whole point of pluggable interconnects).
+
+Also writable as a JSON artifact for CI trend tracking::
+
+    python benchmarks/bench_topology.py --json out/topology.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.align import align_program
+from repro.distrib import build_profile, plan_distribution
+from repro.lang import programs
+from repro.machine import format_table, measure_traffic
+from repro.topology import parse_topology
+
+NPROCS = 4
+
+EXAMPLES = {
+    "example1": (lambda: programs.example1(), {}),
+    "figure1": (lambda: programs.figure1(n=16), dict(replication=False)),
+    "figure4": (lambda: programs.figure4(nt=8, nk=6), {}),
+    "stencil": (
+        lambda: programs.stencil_sweep(n=48, iters=3),
+        dict(replication=False),
+    ),
+    "wavefront": (
+        lambda: programs.skewed_wavefront(n=10),
+        dict(replication=False),
+    ),
+}
+
+SPECS_BY_RANK = {
+    1: ["grid:4", "torus:4", "ring:4", "hypercube:4",
+        "hier:(grid:2)/(grid:2)@8"],
+    2: ["grid:2x2", "torus:2x2", "hypercube:2x2",
+        "hier:(grid:1x2)/(grid:2x1)@8"],
+}
+
+
+def run() -> dict:
+    out: dict = {"nprocs": NPROCS, "examples": {}}
+    divergent = []
+    for name, (make, kw) in EXAMPLES.items():
+        plan = align_program(make(), **kw)
+        profile = build_profile(plan.adg, plan.alignments)
+        base = plan_distribution(profile, NPROCS)
+        entry = {
+            "default": {
+                "directive": base.directive(),
+                "hops": base.cost.hops,
+                "moved": base.cost.moved,
+            },
+            "topologies": {},
+        }
+        for spec in SPECS_BY_RANK[profile.template_rank]:
+            topo = parse_topology(spec)
+            d = plan_distribution(profile, NPROCS, topology=topo)
+            measured = measure_traffic(
+                plan.adg, plan.alignments, d.to_distribution(), topology=topo
+            )
+            assert d.cost.hops == measured.hop_cost, (name, spec)
+            assert d.cost.moved == measured.elements_moved, (name, spec)
+            if topo.kind == "grid":
+                assert d.directive() == base.directive(), (name, spec)
+                assert d.cost == base.cost, (name, spec)
+            if d.directive() != base.directive():
+                divergent.append((name, spec))
+            entry["topologies"][spec] = {
+                "directive": d.directive(),
+                "hops": d.cost.hops,
+                "moved": d.cost.moved,
+                "bisection": topo.bisection_bandwidth(),
+                "diverges": d.directive() != base.directive(),
+            }
+        out["examples"][name] = entry
+    out["divergent"] = [list(d) for d in divergent]
+    assert divergent, "no example changed its plan on any non-grid machine"
+    return out
+
+
+def test_topology_sweep(benchmark, report):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, entry in stats["examples"].items():
+        rows = [
+            ("default", entry["default"]["directive"],
+             str(entry["default"]["hops"]), "")
+        ]
+        for spec, r in entry["topologies"].items():
+            rows.append(
+                (spec, r["directive"], str(r["hops"]),
+                 "<< diverges" if r["diverges"] else "")
+            )
+        report.table(
+            format_table(
+                ["machine", "chosen distribution", "hops", ""],
+                rows,
+                title=f"T1: {name} on {stats['nprocs']} processors",
+            )
+        )
+    report.row(f"divergent plans: {stats['divergent']}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", metavar="OUT", help="write results as JSON")
+    args = ap.parse_args(argv)
+    stats = run()
+    print(json.dumps(stats, indent=2))
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        with open(args.json, "w") as f:
+            json.dump(stats, f, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

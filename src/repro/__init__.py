@@ -29,11 +29,15 @@ Subpackages:
   the five mobile-offset algorithms, replication labeling by min-cut,
   and the full pipeline;
 * :mod:`repro.solvers` — from-scratch simplex LP and max-flow/min-cut;
+* :mod:`repro.topology` — pluggable machine interconnects (grid, torus,
+  ring, hypercube, hierarchical) whose per-axis hop metrics price every
+  data movement; the grid default is the paper's L1 machine;
 * :mod:`repro.machine` — a distributed-memory machine simulator that
   measures the communication the alignments imply;
 * :mod:`repro.distrib` — automatic distribution planning (the phase the
   paper defers): per-axis HPF scheme + processor-grid search over a
-  communication cost model exact against the simulator;
+  communication cost model exact against the simulator, priced per
+  topology;
 * :mod:`repro.batch` — batched planning of program corpora over a
   process pool, with memoized hot kernels (:mod:`repro.cachestats`) and
   generated workloads (:mod:`repro.lang.generate`).
@@ -52,11 +56,12 @@ from .align import (
     solve_mobile_offsets,
     total_cost,
 )
+from .topology import Topology, default_topology, parse_topology
 from .machine import Distribution, measure_plan, run_program
 from .distrib import DistributionPlan, build_profile, plan_distribution
 from .batch import BatchReport, PlanResult, plan_many, plan_one
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ProgramBuilder",
@@ -73,6 +78,9 @@ __all__ = [
     "solve_axis_stride",
     "solve_mobile_offsets",
     "total_cost",
+    "Topology",
+    "default_topology",
+    "parse_topology",
     "Distribution",
     "measure_plan",
     "run_program",

@@ -5,16 +5,23 @@ Usage::
     python -m repro FILE [--algorithm fixed|unrolling|...] [--m 3]
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
-                         [--distribute P] [--phases]
+                         [--distribute P] [--phases] [--topology SPEC]
     python -m repro --batch <dir|count> [--jobs J] [--serial]
                          [--batch-seed S] [--batch-json OUT.json]
-                         [--distribute P]
+                         [--distribute P] [--topology SPEC]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
 alignment pipeline, and prints the report; optionally renders the ADG,
 measures the plan on the machine simulator, or — the paper's deferred
 second phase — plans a distribution automatically for P processors
 (``--distribute``), per program phase with costed remaps (``--phases``).
+
+``--topology`` selects the machine interconnect pricing every hop
+(``grid:4x4``, ``torus:4x4``, ``ring:8``, ``hypercube:16``,
+``hier:(grid:2x2)/(grid:4x4)@8``; default: the paper's open grid).  A
+finite topology also implies the processor count, so ``--distribute``
+may be omitted; different machines can and do pick different
+distributions for the same program.
 
 ``--batch`` switches to the batched planning engine: the argument is
 either a directory of program sources (planned file by file) or an
@@ -83,6 +90,7 @@ def _run_batch(args, align_kw: dict) -> int:
         serial=args.serial,
         align_kw=align_kw,
         verify=True,
+        topology=args.topology,
     )
     print(report.render())
     if args.batch_json:
@@ -134,6 +142,13 @@ def main(argv: list[str] | None = None) -> int:
         help="automatically plan a distribution for P processors",
     )
     ap.add_argument(
+        "--topology",
+        metavar="SPEC",
+        help="machine interconnect pricing hops: grid:RxC, torus:RxC, "
+        "ring:P, hypercube:P, hier:(outer)/(inner)@cost "
+        "(default: the paper's open grid)",
+    )
+    ap.add_argument(
         "--phases",
         action="store_true",
         help="with --distribute: plan per program phase with costed remaps",
@@ -166,6 +181,27 @@ def main(argv: list[str] | None = None) -> int:
         help="with --batch: write the aggregate report as JSON",
     )
     args = ap.parse_args(argv)
+    topology = None
+    if args.topology is not None:
+        from .topology import parse_topology
+
+        try:
+            topology = parse_topology(args.topology)
+        except ValueError as exc:
+            ap.error(f"--topology: {exc}")
+        if topology.shape:
+            if (
+                args.distribute is not None
+                and args.distribute != topology.nprocs
+            ):
+                ap.error(
+                    f"--topology {topology.spec()} is a "
+                    f"{topology.nprocs}-processor machine but --distribute "
+                    f"asked for {args.distribute}"
+                )
+            if args.distribute is None and args.measure is None:
+                # A finite machine implies the processor count.
+                args.distribute = topology.nprocs
     if args.distribute is not None and args.distribute < 1:
         ap.error("--distribute needs at least 1 processor")
     if args.phases and args.distribute is None:
@@ -219,6 +255,9 @@ def main(argv: list[str] | None = None) -> int:
             f.write(to_dot(plan.adg))
         print(f"ADG written to {args.dot}")
 
+    if topology is not None:
+        print(f"machine model: {topology.describe()}")
+
     if args.measure:
         procs = tuple(int(x) for x in args.procs.split(","))
         if len(procs) == 1:
@@ -227,6 +266,7 @@ def main(argv: list[str] | None = None) -> int:
             plan,
             scheme=args.measure,
             processors=None if args.measure == "identity" else procs,
+            topology=topology,
         )
         print(f"machine ({args.measure}): {traffic.summary()}")
 
@@ -235,12 +275,13 @@ def main(argv: list[str] | None = None) -> int:
         from .machine import measure_traffic
 
         profile = build_profile(plan.adg, plan.alignments)
-        dplan = plan_distribution(profile, args.distribute)
+        dplan = plan_distribution(profile, args.distribute, topology=topology)
         print(dplan.render())
-        for name, cost in sorted(naive_costs(profile, args.distribute).items()):
+        naive = naive_costs(profile, args.distribute, topology)
+        for name, cost in sorted(naive.items()):
             print(f"  naive {name:>9s}: hops={cost.hops} moved={cost.moved}")
         traffic = measure_traffic(
-            plan.adg, plan.alignments, dplan.to_distribution()
+            plan.adg, plan.alignments, dplan.to_distribution(), topology=topology
         )
         print(f"machine (planned): {traffic.summary()}")
         if args.phases:
@@ -254,7 +295,10 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(
                 plan_program_phases(
-                    program, args.distribute, align_kw=align_kw
+                    program,
+                    args.distribute,
+                    align_kw=align_kw,
+                    topology=topology,
                 ).render()
             )
     return 0

@@ -10,6 +10,14 @@ Two metrics, as in the paper:
 ``alignment_distance`` combines them for whole alignments, which is what
 the operational cost evaluator (:mod:`repro.align.cost`) and the machine
 simulator use.
+
+The offset metric is the *default topology*'s cell distance — the
+unbounded grid machine of :mod:`repro.topology`, whose per-axis metric
+is exactly the paper's L1.  Alignment happens on the conceptually
+infinite template, before any processor mapping, so the alignment
+phases always price on that machine; finite interconnects enter once a
+distribution maps cells to processors (:mod:`repro.machine`,
+:mod:`repro.distrib`).
 """
 
 from __future__ import annotations
@@ -19,7 +27,12 @@ from typing import Mapping
 
 from ..ir.affine import AffineForm
 from ..ir.symbols import LIV
+from ..topology import default_topology
 from .position import Alignment
+
+# The identity machine every alignment-phase distance is measured on.
+_CELL_METRIC = default_topology()
+_AXIS_METRIC = _CELL_METRIC.axis_metric()
 
 
 def discrete(a: object, b: object) -> int:
@@ -28,10 +41,9 @@ def discrete(a: object, b: object) -> int:
 
 
 def grid(p: tuple[Fraction, ...], q: tuple[Fraction, ...]) -> Fraction:
-    """L1 distance between two template cells."""
-    if len(p) != len(q):
-        raise ValueError("grid metric needs equal-rank points")
-    return sum((abs(x - y) for x, y in zip(p, q)), Fraction(0))
+    """Distance between two template cells on the default topology
+    (the unbounded grid — L1, per the paper)."""
+    return _CELL_METRIC.distance(p, q)
 
 
 def axes_strides_equal(a: Alignment, b: Alignment, env: Mapping[LIV, int]) -> bool:
@@ -81,6 +93,8 @@ def alignment_distance(
             continue
         if ax_a.is_replicated:
             continue  # source replicated: a copy exists at the target offset
-        d = abs(ax_a.offset.evaluate(env) - ax_b.offset.evaluate(env))
+        d = _AXIS_METRIC.distance(
+            ax_a.offset.evaluate(env), ax_b.offset.evaluate(env)
+        )
         total += d * elements
     return total

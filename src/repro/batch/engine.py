@@ -13,7 +13,10 @@ with a deterministic serial fallback (``jobs=1``, ``serial=True``, or
 any failure to spawn the pool): results are identical and arrive in
 corpus order either way, because planning itself is deterministic and
 ``Executor.map`` preserves input order.  Work items cross the process
-boundary as source text, so nothing in the pipeline needs to pickle.
+boundary as source text, so nothing in the pipeline needs to pickle —
+the machine topology rides along the same way, as its
+:func:`~repro.topology.parse_topology` spec string, re-hydrated inside
+each worker.
 """
 
 from __future__ import annotations
@@ -86,14 +89,23 @@ def plan_one(
     align_kw: Mapping | None = None,
     distrib_options: Mapping | None = None,
     verify: bool = False,
+    topology: str | None = None,
 ) -> PlanResult:
-    """Plan a single program; never raises — failures become diagnostics."""
+    """Plan a single program; never raises — failures become diagnostics.
+
+    ``topology`` is a machine spec string (``"torus:4x4"``, …): specs —
+    not topology objects — cross the process-pool boundary, so each
+    worker re-parses it here.  A bad spec is a per-task diagnostic like
+    any other failure.
+    """
     from ..align.pipeline import align_program
     from ..distrib import build_profile, plan_distribution
+    from ..topology import parse_topology
 
     before = cachestats.snapshot()
     t0 = time.perf_counter()
     try:
+        topo = None if topology is None else parse_topology(topology)
         program = parse(request.source, name=request.name)
         plan = align_program(program, **dict(align_kw or {}))
         alignments = {
@@ -103,14 +115,16 @@ def plan_one(
         profile = None
         if nprocs is not None:
             profile = build_profile(plan.adg, plan.alignments)
-            dplan = plan_distribution(profile, nprocs, **dict(distrib_options or {}))
+            dplan = plan_distribution(
+                profile, nprocs, topology=topo, **dict(distrib_options or {})
+            )
             plan.distribution = dplan
             directive = dplan.directive()
             hops, moved = dplan.cost.hops, dplan.cost.moved
             exact = dplan.exact
         verified = None
         if verify:
-            verified = _verify(plan, profile)
+            verified = _verify(plan, profile, topo)
         return PlanResult(
             name=request.name,
             ok=True,
@@ -134,25 +148,29 @@ def plan_one(
         )
 
 
-def _verify(plan, profile) -> bool:
+def _verify(plan, profile, topo=None) -> bool:
     """The differential cross-check, inline: analytic cost == simulator.
 
-    Under the identity distribution the measured hop count plus
-    broadcast elements must equal the equation-1 cost whenever no edge
-    is general communication, and the compiled profile must agree with
-    the executor's counts exactly (general edges included).
+    Two oracles, both under the identity distribution but priced on the
+    task's topology:
+
+    * on the default (grid) machine, measured hops + broadcasts +
+      general elements must equal the equation-1 cost exactly (general
+      moves carry the discrete-metric charge, never hops);
+    * for every topology, the compiled profile must agree with the
+      executor's counts exactly — general edges included.
     """
     from ..machine.distribution import Distribution
     from ..machine.executor import measure_traffic
 
-    rep = measure_traffic(
-        plan.adg, plan.alignments, Distribution.identity(plan.adg.template_rank)
-    )
-    if all(not t.count.general for t in rep.edges):
-        if plan.total_cost != rep.hop_cost + rep.broadcast_elements:
+    ident = Distribution.identity(plan.adg.template_rank)
+    rep = measure_traffic(plan.adg, plan.alignments, ident, topology=topo)
+    if topo is None or topo.kind == "grid":
+        total = rep.hop_cost + rep.broadcast_elements + rep.general_elements
+        if plan.total_cost != total:
             return False
     if profile is not None:
-        cv = profile.evaluate(Distribution.identity(profile.template_rank))
+        cv = profile.evaluate(ident, topo)
         if (
             cv.hops != rep.hop_cost
             or cv.moved != rep.elements_moved
@@ -163,8 +181,8 @@ def _verify(plan, profile) -> bool:
 
 
 def _worker(payload: tuple) -> PlanResult:
-    request, nprocs, align_kw, distrib_options, verify = payload
-    return plan_one(request, nprocs, align_kw, distrib_options, verify)
+    request, nprocs, align_kw, distrib_options, verify, topology = payload
+    return plan_one(request, nprocs, align_kw, distrib_options, verify, topology)
 
 
 @dataclass
@@ -178,6 +196,9 @@ class BatchReport:
     # Why a requested process run degraded to serial (pool spawn failure,
     # broken pool mid-run, ...); None for a clean run.
     fallback_reason: Optional[str] = None
+    # The machine spec every task was planned on (None: the default
+    # L1 grid machine).
+    topology: Optional[str] = None
 
     @property
     def ok(self) -> list[PlanResult]:
@@ -207,6 +228,7 @@ class BatchReport:
             "jobs": self.jobs,
             "mode": self.mode,
             "fallback_reason": self.fallback_reason,
+            "topology": self.topology,
             "programs": len(self.results),
             "ok": len(self.ok),
             "failed": len(self.failures),
@@ -233,9 +255,11 @@ class BatchReport:
         }
 
     def render(self) -> str:
+        machine = f", topology={self.topology}" if self.topology else ""
         lines = [
             f"batch: {len(self.results)} programs in {self.seconds:.2f}s "
-            f"({self.throughput:.1f}/s, {self.mode}, jobs={self.jobs}); "
+            f"({self.throughput:.1f}/s, {self.mode}, jobs={self.jobs}"
+            f"{machine}); "
             f"{len(self.ok)} ok, {len(self.failures)} failed",
         ]
         if self.fallback_reason:
@@ -266,17 +290,31 @@ def plan_many(
     align_kw: Mapping | None = None,
     distrib_options: Mapping | None = None,
     verify: bool = False,
+    topology: str | None = None,
 ) -> BatchReport:
     """Plan every program in ``corpus``; results in corpus order.
 
     ``jobs`` defaults to the machine's CPU count.  ``serial=True`` (or
     ``jobs=1``) runs the same work inline — the deterministic fallback —
     and any failure to spawn the pool degrades to it silently, so
-    ``plan_many`` works in restricted environments.
+    ``plan_many`` works in restricted environments.  ``topology`` is a
+    machine spec string applied to every task (validated up front so a
+    typo fails fast, then shipped to workers as text).
     """
+    if topology is not None:
+        from ..topology import parse_topology
+
+        parse_topology(topology)  # fail fast on a bad spec
     requests = [PlanRequest.of(item, i) for i, item in enumerate(corpus)]
     payloads = [
-        (req, nprocs, dict(align_kw or {}), dict(distrib_options or {}), verify)
+        (
+            req,
+            nprocs,
+            dict(align_kw or {}),
+            dict(distrib_options or {}),
+            verify,
+            topology,
+        )
         for req in requests
     ]
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -284,7 +322,9 @@ def plan_many(
     t0 = time.perf_counter()
     if serial or jobs == 1:
         results = [_worker(p) for p in payloads]
-        return BatchReport(results, time.perf_counter() - t0, 1, "serial")
+        return BatchReport(
+            results, time.perf_counter() - t0, 1, "serial", topology=topology
+        )
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             chunk = max(1, len(payloads) // (4 * jobs))
@@ -297,6 +337,13 @@ def plan_many(
         t0 = time.perf_counter()
         results = [_worker(p) for p in payloads]
         return BatchReport(
-            results, time.perf_counter() - t0, 1, "serial", fallback_reason=reason
+            results,
+            time.perf_counter() - t0,
+            1,
+            "serial",
+            fallback_reason=reason,
+            topology=topology,
         )
-    return BatchReport(results, time.perf_counter() - t0, jobs, "process")
+    return BatchReport(
+        results, time.perf_counter() - t0, jobs, "process", topology=topology
+    )

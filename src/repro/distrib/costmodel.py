@@ -19,9 +19,16 @@ equation-1 cost.  The end-to-end tests assert both equalities.
 
 Distribution-independent traffic is folded into the profile up front:
 
-* *general* communication (axis or stride mismatch) costs the object
-  size in hops and moves regardless of where cells live;
+* *general* communication (axis or stride mismatch) moves the object
+  regardless of where cells live; it has no routing distance on any
+  interconnect, so it contributes moves but zero hops (matching
+  :func:`repro.machine.comm.count_move`);
 * *broadcasts* along replicated axes cost the object size once.
+
+Hop pricing is topology-aware: ``evaluate`` and ``axis_hops`` accept
+the interconnect metrics of :mod:`repro.topology`, defaulting to the
+paper's L1 grid.  The per-axis memo keys include the metric, so one
+profile serves any number of machine models.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from ..cachestats import MISS, BoundedCache, _cell
 from ..machine.comm import _axis_positions
 from ..machine.distribution import AxisDistribution, Distribution
 from ..machine.executor import _shape_at
+from ..topology import AxisMetric, Topology, distribution_metrics
 
 # Move-record compilation re-builds the same per-axis coordinate arrays
 # once per iteration point even when the evaluated strides/offsets are
@@ -152,33 +160,58 @@ class CommProfile:
 
     # -- evaluation --------------------------------------------------------
 
-    def evaluate(self, dist: Distribution) -> CostVector:
-        """Exact modeled cost of ``dist``: matches the executor's counts."""
+    def evaluate(
+        self, dist: Distribution, topology: Topology | None = None
+    ) -> CostVector:
+        """Exact modeled cost of ``dist``: matches the executor's counts.
+
+        ``topology`` prices hops with the machine's interconnect
+        metrics; ``None`` is the paper's L1 grid.
+        """
         if dist.rank != self.template_rank:
             raise ValueError(
                 f"distribution rank {dist.rank} != template rank "
                 f"{self.template_rank}"
             )
+        metrics = (
+            None if topology is None else distribution_metrics(topology, dist)
+        )
         hops = self.fixed.hops
         moved = self.fixed.moved
         for r in self.records:
             sub = Distribution(tuple(dist.axes[t] for t in r.axes))
+            sub_metrics = (
+                None
+                if metrics is None
+                else tuple(metrics[t] for t in r.axes)
+            )
             moved += int(np.sum(sub.moved_mask(r.src, r.dst))) * r.count
-            hops += int(np.sum(sub.hop_distance(r.src, r.dst))) * r.count
+            hops += (
+                int(np.sum(sub.hop_distance(r.src, r.dst, sub_metrics)))
+                * r.count
+            )
         return CostVector(hops, moved, self.broadcast)
 
-    def axis_hops(self, axis: int, axdist: AxisDistribution) -> int:
+    def axis_hops(
+        self,
+        axis: int,
+        axdist: AxisDistribution,
+        metric: AxisMetric | None = None,
+    ) -> int:
         """Hops contributed by one template axis under one axis scheme.
 
-        The L1 grid metric decomposes over axes, so per-axis hop costs
-        can be optimized independently once the processor count per axis
-        is fixed — this is what makes the exhaustive search a per-axis
-        dynamic program rather than a cross-product sweep.
+        Every topology in :mod:`repro.topology` is separable — its hop
+        distance decomposes over axes — so per-axis hop costs can be
+        optimized independently once the processor count per axis is
+        fixed, for any interconnect, not just the L1 grid.  This is
+        what makes the exhaustive search a per-axis dynamic program
+        rather than a cross-product sweep.
         """
-        # Axis distributions are frozen value objects, so the instance
-        # itself is the key: every scheme parameter participates, and a
-        # future scheme class can never collide with an existing one.
-        key = (axis, axdist)
+        # Axis distributions and metrics are frozen value objects, so
+        # the instances themselves are the key: every scheme/metric
+        # parameter participates, and a future class can never collide
+        # with an existing one.
+        key = (axis, axdist, metric)
         cached = self._hops_cache.get(key)
         if cached is not None:
             _AXIS_HOPS_STATS[0] += 1
@@ -189,7 +222,9 @@ class CommProfile:
             if axis not in r.axes:
                 continue
             j = r.axes.index(axis)
-            d = axdist.processor_coordinate_distance(r.src[j], r.dst[j])
+            d = axdist.processor_coordinate_distance(
+                r.src[j], r.dst[j], metric
+            )
             total += int(np.sum(d)) * r.count
         if len(self._hops_cache) >= 4096:
             self._hops_cache.clear()
@@ -260,7 +295,9 @@ def build_profile(adg: ADG, alignments: AlignmentMap) -> CommProfile:
             if not general:
                 general = _stride_mismatch(src, dst, env)
             if general:
-                profile.fixed = profile.fixed + CostVector(hops=n, moved=n)
+                # General comm has no routing distance: moves, not hops
+                # (mirrors count_move, keeping topology costs well-defined).
+                profile.fixed = profile.fixed + CostVector(moved=n)
                 profile.general_moves += 1
                 continue
             for a1, a2 in zip(src.axes, dst.axes):

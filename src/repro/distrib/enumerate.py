@@ -13,6 +13,8 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..machine.distribution import Distribution
+from ..topology import Topology
+from ..topology.models import factorizations, most_balanced
 from .costmodel import CommProfile, CostVector, window_extents
 from .plan import BLOCK, BLOCK_CYCLIC, CYCLIC, AxisPlan
 
@@ -23,28 +25,18 @@ def grid_factorizations(nprocs: int, rank: int) -> list[tuple[int, ...]]:
     """All ordered factorizations of ``nprocs`` into ``rank`` axis counts.
 
     ``grid_factorizations(4, 2) == [(1, 4), (2, 2), (4, 1)]``.  The
-    order is deterministic (lexicographic) so search results are stable.
+    order is deterministic (lexicographic) so search results are
+    stable.  Delegates to the one enumerator shared with the topology
+    defaults (:func:`repro.topology.models.factorizations`), so the
+    planner's candidate space and the machines' own grid choices can
+    never diverge.
     """
-    if nprocs < 1:
-        raise ValueError("nprocs must be >= 1")
-    if rank < 1:
-        raise ValueError("rank must be >= 1")
-    if rank == 1:
-        return [(nprocs,)]
-    out: list[tuple[int, ...]] = []
-    for p in range(1, nprocs + 1):
-        if nprocs % p:
-            continue
-        for rest in grid_factorizations(nprocs // p, rank - 1):
-            out.append((p, *rest))
-    return out
+    return factorizations(nprocs, rank)
 
 
 def balanced_factorization(nprocs: int, rank: int) -> tuple[int, ...]:
     """The most nearly-cubic grid shape (minimal max/min spread)."""
-    return min(
-        grid_factorizations(nprocs, rank), key=lambda g: (max(g) - min(g), g)
-    )
+    return most_balanced(grid_factorizations(nprocs, rank))
 
 
 def covering_block(extent: int, nprocs: int) -> int:
@@ -83,10 +75,18 @@ def candidate_spaces(
     profile: CommProfile,
     nprocs: int,
     block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    topology: Topology | None = None,
 ) -> Iterator[tuple[tuple[int, ...], list[list[AxisPlan]]]]:
-    """Yield ``(grid shape, per-axis candidate lists)`` per factorization."""
+    """Yield ``(grid shape, per-axis candidate lists)`` per factorization.
+
+    ``topology`` drops grid shapes the machine cannot realize (e.g. a
+    hypercube only folds onto power-of-two axis counts); the default
+    grid machine accepts every factorization.
+    """
     extents = window_extents(profile)
     for grid in grid_factorizations(nprocs, profile.template_rank):
+        if topology is not None and not topology.supports_grid(grid):
+            continue
         cands = [
             axis_candidates(lo, ext, p, block_sizes)
             for (lo, _), ext, p in zip(profile.window, extents, grid)
@@ -98,10 +98,11 @@ def space_size(
     profile: CommProfile,
     nprocs: int,
     block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    topology: Topology | None = None,
 ) -> int:
     """Total number of candidate distributions across all grid shapes."""
     total = 0
-    for _, cands in candidate_spaces(profile, nprocs, block_sizes):
+    for _, cands in candidate_spaces(profile, nprocs, block_sizes, topology):
         prod = 1
         for c in cands:
             prod *= len(c)
@@ -141,9 +142,13 @@ def naive_distributions(
     }
 
 
-def naive_costs(profile: CommProfile, nprocs: int) -> dict[str, CostVector]:
-    """Modeled cost of each naive baseline."""
+def naive_costs(
+    profile: CommProfile,
+    nprocs: int,
+    topology: Topology | None = None,
+) -> dict[str, CostVector]:
+    """Modeled cost of each naive baseline (priced on ``topology``)."""
     return {
-        name: profile.evaluate(dist)
+        name: profile.evaluate(dist, topology)
         for name, dist in naive_distributions(profile, nprocs).items()
     }

@@ -75,13 +75,15 @@ class DistributionPlan:
     ``exact`` records whether the choice came from exhaustive search
     (globally optimal over the candidate space) or from the greedy /
     local-search fallback.  ``searched`` counts candidate distributions
-    the planner evaluated.
+    the planner evaluated.  ``topology`` is the interconnect spec the
+    plan was priced on (``None``: the paper's default L1 grid machine).
     """
 
     axes: tuple[AxisPlan, ...]
     cost: CostVector
     exact: bool = True
     searched: int = 0
+    topology: Optional[str] = None
 
     @property
     def rank(self) -> int:
@@ -109,9 +111,10 @@ class DistributionPlan:
 
     def render(self) -> str:
         mode = "exact" if self.exact else "local-search"
+        machine = f" on {self.topology}" if self.topology else ""
         lines = [
-            f"distribution plan ({self.num_processors} processors, {mode}, "
-            f"{self.searched} candidates searched)",
+            f"distribution plan ({self.num_processors} processors{machine}, "
+            f"{mode}, {self.searched} candidates searched)",
             f"  {self.directive()}",
         ]
         for t, a in enumerate(self.axes):

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..lang.ast import Program
 from ..machine.distribution import Distribution
+from ..topology import Topology
 from .costmodel import CommProfile, CostVector, build_profile
 from .plan import DistributionPlan
 from .search import rank_plans
@@ -60,15 +61,25 @@ def remap_cost(
     window: Sequence[tuple[int, int]],
     src: Distribution,
     dst: Distribution,
+    topology: Topology | None = None,
 ) -> CostVector:
     """Cost of redistributing every cell of ``window`` from src to dst.
 
     Vectorized over the full cell window: an element moves when any
-    axis changes its processor coordinate; hops are the L1 grid
-    distance.  This over-approximates (empty cells own no data) exactly
-    the way the executor's window does — consistently for all
-    candidates, so comparisons are fair.
+    axis changes its processor coordinate; hops are the interconnect
+    distance (``topology=None``: the paper's L1 grid).  This
+    over-approximates (empty cells own no data) exactly the way the
+    executor's window does — consistently for all candidates, so
+    comparisons are fair.
     """
+    # Candidate distributions may sit on different logical grid shapes,
+    # so remaps are priced on the machine's *physical* axis extents —
+    # one metric set for every candidate pair, keeping the DP fair.
+    metrics = (
+        None
+        if topology is None
+        else topology.metrics((None,) * src.rank)
+    )
     extents = tuple(hi - lo + 1 for lo, hi in window)
     grids = np.indices(extents)
     coords = [g + lo for g, (lo, _) in zip(grids, window)]
@@ -76,9 +87,9 @@ def remap_cost(
     dst_procs = dst.map_cells(coords)
     moved = None
     hops = None
-    for sp, dp in zip(src_procs, dst_procs):
+    for t, (sp, dp) in enumerate(zip(src_procs, dst_procs)):
         m = sp != dp
-        h = np.abs(sp - dp)
+        h = np.abs(sp - dp) if metrics is None else metrics[t].hops(sp, dp)
         moved = m if moved is None else (moved | m)
         hops = h if hops is None else hops + h
     assert moved is not None and hops is not None
@@ -135,13 +146,15 @@ def plan_phase_sequence(
     profiles: Sequence[tuple[str, CommProfile]],
     nprocs: int,
     k: int = 4,
+    topology: Topology | None = None,
     **rank_kw,
 ) -> PhasedPlan:
     """DP over the phase chain with costed remap edges.
 
     ``profiles`` is an ordered list of (phase name, profile).  Each
     phase contributes its ``k`` best candidate distributions; the DP
-    picks one per phase minimizing phase hops plus remap hops.
+    picks one per phase minimizing phase hops plus remap hops, both
+    priced on ``topology`` (default: the L1 grid machine).
     """
     if not profiles:
         raise ValueError("need at least one phase")
@@ -149,7 +162,7 @@ def plan_phase_sequence(
     # Candidates are sized over the union window so that a remap over
     # any cell is within every candidate distribution's covered range.
     cand: list[list[DistributionPlan]] = [
-        rank_plans(p, nprocs, k=k, window=window, **rank_kw)
+        rank_plans(p, nprocs, k=k, window=window, topology=topology, **rank_kw)
         for _, p in profiles
     ]
     dists = [[pl.to_distribution() for pl in plans] for plans in cand]
@@ -167,7 +180,9 @@ def plan_phase_sequence(
             for pi in range(len(cand[i - 1])):
                 rc = remaps.get((i, pi, ci))
                 if rc is None:
-                    rc = remap_cost(window, dists[i - 1][pi], dists[i][ci])
+                    rc = remap_cost(
+                        window, dists[i - 1][pi], dists[i][ci], topology
+                    )
                     remaps[(i, pi, ci)] = rc
                 val = dp[i - 1][pi] + rc.hops + pl.cost.hops
                 if best_val is None or val < best_val:
@@ -198,6 +213,7 @@ def plan_program_phases(
     nprocs: int,
     k: int = 4,
     align_kw: dict | None = None,
+    topology: Topology | None = None,
     **rank_kw,
 ) -> PhasedPlan:
     """Convenience driver: split, align and profile each phase, then DP.
@@ -212,4 +228,6 @@ def plan_program_phases(
     for sub in phases:
         plan = align_program(sub, **(align_kw or {}))
         profiles.append((sub.name, build_profile(plan.adg, plan.alignments)))
-    return plan_phase_sequence(profiles, nprocs, k=k, **rank_kw)
+    return plan_phase_sequence(
+        profiles, nprocs, k=k, topology=topology, **rank_kw
+    )

@@ -24,6 +24,8 @@ import random
 from typing import Sequence
 
 from ..solvers.dp import DiscreteLabelingProblem
+from ..topology import AxisMetric, Topology
+from ..topology.models import most_balanced
 from .costmodel import CommProfile, CostVector, window_extents
 from .enumerate import (
     DEFAULT_BLOCK_SIZES,
@@ -39,17 +41,34 @@ EXHAUSTIVE_LIMIT = 20_000
 _ANCHOR = "$cost"
 
 
+def _metrics_for_grid(
+    topology: Topology | None, grid: Sequence[int]
+) -> tuple[AxisMetric, ...] | None:
+    return None if topology is None else topology.metrics(tuple(grid))
+
+
 def _axis_hop_table(
-    profile: CommProfile, cands: Sequence[Sequence[AxisPlan]]
+    profile: CommProfile,
+    cands: Sequence[Sequence[AxisPlan]],
+    metrics: Sequence[AxisMetric] | None = None,
 ) -> list[list[int]]:
     return [
-        [profile.axis_hops(t, c.to_axis_distribution()) for c in clist]
+        [
+            profile.axis_hops(
+                t,
+                c.to_axis_distribution(),
+                None if metrics is None else metrics[t],
+            )
+            for c in clist
+        ]
         for t, clist in enumerate(cands)
     ]
 
 
 def _solve_axes_dp(
-    profile: CommProfile, cands: Sequence[Sequence[AxisPlan]]
+    profile: CommProfile,
+    cands: Sequence[Sequence[AxisPlan]],
+    metrics: Sequence[AxisMetric] | None = None,
 ) -> tuple[list[AxisPlan], int]:
     """Exact per-axis choice by DP on a star-shaped labeling problem.
 
@@ -63,7 +82,7 @@ def _solve_axes_dp(
     inter-axis costs are ever added as real edges.)
     """
     prob = DiscreteLabelingProblem()
-    hops = _axis_hop_table(profile, cands)
+    hops = _axis_hop_table(profile, cands, metrics)
     for t, clist in enumerate(cands):
         prob.add_node(t, list(range(len(clist))))
         for ci in range(len(clist)):
@@ -89,11 +108,18 @@ def _finish(
     axes: Sequence[AxisPlan],
     exact: bool,
     searched: int,
+    topology: Topology | None = None,
 ) -> DistributionPlan:
     from ..machine.distribution import Distribution
 
     dist = Distribution(tuple(a.to_axis_distribution() for a in axes))
-    return DistributionPlan(tuple(axes), profile.evaluate(dist), exact, searched)
+    return DistributionPlan(
+        tuple(axes),
+        profile.evaluate(dist, topology),
+        exact,
+        searched,
+        topology=None if topology is None else topology.spec(),
+    )
 
 
 def plan_distribution(
@@ -103,30 +129,43 @@ def plan_distribution(
     exhaustive_limit: int = EXHAUSTIVE_LIMIT,
     seed: int = 0,
     restarts: int = 8,
+    topology: Topology | None = None,
 ) -> DistributionPlan:
     """Choose the distribution minimizing modeled hops for ``nprocs``.
 
     Exhaustive (hop-optimal) when the work of solving every grid shape
     exactly is affordable; otherwise greedy + local search.  Because
-    the hop metric decomposes over axes, the exhaustive DP's work is
-    the per-axis candidate *sum* per grid (not the cross-product), so
+    every hop metric decomposes over axes (all :mod:`repro.topology`
+    models are separable), the exhaustive DP's work is the per-axis
+    candidate *sum* per grid (not the cross-product), so
     ``exhaustive_limit`` bounds that sum over all grid shapes — the
     cross-product space actually covered (reported in ``searched``) is
-    usually far larger.
+    usually far larger.  ``topology`` prices hops on the machine's
+    interconnect and rules out unrealizable grid shapes; the default is
+    the paper's open L1 grid.
     """
-    spaces = list(candidate_spaces(profile, nprocs, block_sizes))
+    spaces = list(candidate_spaces(profile, nprocs, block_sizes, topology))
+    if not spaces:
+        raise ValueError(
+            f"{topology.spec() if topology else 'machine'}: no realizable "
+            f"processor grid for {nprocs} processors on a rank-"
+            f"{profile.template_rank} template"
+        )
     dp_work = sum(len(c) for _, cands in spaces for c in cands)
     if dp_work <= exhaustive_limit:
-        covered = space_size(profile, nprocs, block_sizes)
+        covered = space_size(profile, nprocs, block_sizes, topology)
         best: DistributionPlan | None = None
-        for _, cands in spaces:
-            axes, _ = _solve_axes_dp(profile, cands)
-            plan = _finish(profile, axes, exact=True, searched=covered)
+        for grid, cands in spaces:
+            metrics = _metrics_for_grid(topology, grid)
+            axes, _ = _solve_axes_dp(profile, cands, metrics)
+            plan = _finish(
+                profile, axes, exact=True, searched=covered, topology=topology
+            )
             if best is None or (plan.cost, plan.grid) < (best.cost, best.grid):
                 best = plan
         assert best is not None
         return best
-    return _local_search(profile, nprocs, block_sizes, seed, restarts)
+    return _local_search(profile, nprocs, block_sizes, seed, restarts, topology)
 
 
 def rank_plans(
@@ -137,6 +176,7 @@ def rank_plans(
     max_grids: int = 64,
     seed: int = 0,
     window: Sequence[tuple[int, int]] | None = None,
+    topology: Topology | None = None,
 ) -> list[DistributionPlan]:
     """The ``k`` best distributions, one per grid shape, best first.
 
@@ -147,9 +187,17 @@ def rank_plans(
     all phase windows so every candidate owns every remapped cell.
     """
     grids = grid_factorizations(nprocs, profile.template_rank)
+    if topology is not None:
+        grids = [g for g in grids if topology.supports_grid(g)]
+        if not grids:
+            raise ValueError(
+                f"{topology.spec()}: no realizable processor grid for "
+                f"{nprocs} processors on a rank-{profile.template_rank} "
+                "template"
+            )
     if len(grids) > max_grids:
         rng = random.Random(seed)
-        keep = {balanced_factorization(nprocs, profile.template_rank)}
+        keep = {most_balanced(grids)}
         keep.update(
             grids[i] for i in rng.sample(range(len(grids)), max_grids - 1)
         )
@@ -162,8 +210,17 @@ def rank_plans(
             axis_candidates(lo, ext, p, block_sizes)
             for (lo, _), ext, p in zip(win, extents, grid)
         ]
-        axes, _ = _solve_axes_dp(profile, cands)
-        plans.append(_finish(profile, axes, exact=True, searched=len(grids)))
+        metrics = _metrics_for_grid(topology, grid)
+        axes, _ = _solve_axes_dp(profile, cands, metrics)
+        plans.append(
+            _finish(
+                profile,
+                axes,
+                exact=True,
+                searched=len(grids),
+                topology=topology,
+            )
+        )
     plans.sort(key=lambda pl: (pl.cost, pl.grid))
     return plans[: max(1, k)]
 
@@ -175,14 +232,23 @@ def _greedy_axes(
     profile: CommProfile,
     grid: tuple[int, ...],
     block_sizes: Sequence[int],
+    topology: Topology | None = None,
 ) -> tuple[list[AxisPlan], int]:
     """Per-axis argmin of hop cost (the per-grid optimum)."""
     extents = window_extents(profile)
+    metrics = _metrics_for_grid(topology, grid)
     axes: list[AxisPlan] = []
     total = profile.fixed.hops
     for t, ((lo, _), ext, p) in enumerate(zip(profile.window, extents, grid)):
         cands = axis_candidates(lo, ext, p, block_sizes)
-        costs = [profile.axis_hops(t, c.to_axis_distribution()) for c in cands]
+        costs = [
+            profile.axis_hops(
+                t,
+                c.to_axis_distribution(),
+                None if metrics is None else metrics[t],
+            )
+            for c in cands
+        ]
         best = min(range(len(cands)), key=costs.__getitem__)
         axes.append(cands[best])
         total += costs[best]
@@ -222,7 +288,11 @@ def _local_search(
     block_sizes: Sequence[int],
     seed: int,
     restarts: int,
+    topology: Topology | None = None,
 ) -> DistributionPlan:
+    def supported(g: tuple[int, ...]) -> bool:
+        return topology is None or topology.supports_grid(g)
+
     rng = random.Random(seed)
     rank = profile.template_rank
     searched = 0
@@ -237,13 +307,17 @@ def _local_search(
             for f in _prime_factors(nprocs):
                 g[rng.randrange(rank)] *= f
             grid = tuple(g)
-        axes, hops = _greedy_axes(profile, grid, block_sizes)
+        if not supported(grid):
+            continue
+        axes, hops = _greedy_axes(profile, grid, block_sizes, topology)
         searched += 1
         improved = True
         while improved:
             improved = False
             for ng in _neighbor_grids(grid):
-                n_axes, n_hops = _greedy_axes(profile, ng, block_sizes)
+                if not supported(ng):
+                    continue
+                n_axes, n_hops = _greedy_axes(profile, ng, block_sizes, topology)
                 searched += 1
                 if n_hops < hops:
                     grid, axes, hops = ng, n_axes, n_hops
@@ -251,5 +325,15 @@ def _local_search(
                     break  # first-improvement, GSAT style
         if best_axes is None or hops < best_hops:
             best_axes, best_hops = axes, hops
+    if best_axes is None:
+        # Every restart grid was unrealizable: fall back to the first
+        # supported factorization (plan_distribution guarantees one).
+        for grid in grid_factorizations(nprocs, rank):
+            if supported(grid):
+                best_axes, _ = _greedy_axes(profile, grid, block_sizes, topology)
+                searched += 1
+                break
     assert best_axes is not None
-    return _finish(profile, best_axes, exact=False, searched=searched)
+    return _finish(
+        profile, best_axes, exact=False, searched=searched, topology=topology
+    )

@@ -256,3 +256,66 @@ def generate_corpus(
 def random_program(seed: int, config: GeneratorConfig | None = None) -> str:
     """Source text of one scenario — drop-in for the old fuzzer hook."""
     return generate_scenario(seed, config=config).source
+
+
+# ---------------------------------------------------------------------------
+# Topology sampling.  The differential harness and the batch engine pair
+# generated programs with generated machines, so the analytic-vs-simulator
+# cross-check sweeps the cost landscape, not just the L1 grid.  Samples
+# are spec strings (repro.topology.parse_topology), the same form the
+# batch engine ships across its process pool.
+# ---------------------------------------------------------------------------
+
+TOPOLOGY_KINDS = ("grid", "torus", "ring", "hypercube", "hier")
+
+
+def _factor_pairs(n: int) -> list[tuple[int, int]]:
+    return [(p, n // p) for p in range(1, n + 1) if n % p == 0]
+
+
+def sample_topology(
+    seed: int, nprocs: int = 4, kind: str | None = None
+) -> str:
+    """One deterministic machine spec with ``nprocs`` processors.
+
+    ``kind=None`` cycles over :data:`TOPOLOGY_KINDS` by seed.  The
+    hypercube kind rounds ``nprocs`` down to a power of two (its only
+    legal sizes); every other kind honors ``nprocs`` exactly.
+    """
+    if nprocs < 1:
+        raise ValueError("sample_topology needs nprocs >= 1")
+    rng = random.Random(seed * 99_991 + nprocs)
+    k = kind or TOPOLOGY_KINDS[seed % len(TOPOLOGY_KINDS)]
+    if k not in TOPOLOGY_KINDS:
+        raise KeyError(f"unknown topology kind {k!r}")
+    if k == "ring":
+        return f"ring:{nprocs}"
+    if k == "hypercube":
+        pow2 = 1
+        while pow2 * 2 <= nprocs:
+            pow2 *= 2
+        return f"hypercube:{pow2}"
+    if k in ("grid", "torus"):
+        a, b = rng.choice(_factor_pairs(nprocs))
+        shape = str(nprocs) if 1 in (a, b) else f"{a}x{b}"
+        return f"{k}:{shape}"
+    # hier: nodes x cores per axis, a sampled inter-node cost
+    a, b = rng.choice(_factor_pairs(nprocs))
+    cost = rng.choice((2, 4, 8, 16))
+    return f"hier:(grid:{a})/(grid:{b})@{cost}"
+
+
+def topology_corpus(count: int, seed: int = 0, nprocs: int = 4) -> list[str]:
+    """``count`` machine specs cycling round-robin over the kinds.
+
+    Mirrors :func:`generate_corpus`: the i-th spec depends only on
+    ``(seed, i, nprocs)``, so growing a corpus keeps its prefix.
+    """
+    return [
+        sample_topology(
+            seed * 100_003 + i,
+            nprocs,
+            kind=TOPOLOGY_KINDS[i % len(TOPOLOGY_KINDS)],
+        )
+        for i in range(count)
+    ]

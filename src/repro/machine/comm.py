@@ -5,10 +5,21 @@ alignments at the two ends of an edge, and a distribution, counts:
 
 * ``elements_moved`` — elements whose owning processor changes (the
   message volume a runtime would ship);
-* ``hop_cost`` — per-element L1 processor-grid distance summed over
-  elements (the paper's grid metric made operational; equals equation 1
-  exactly under the identity distribution);
+* ``hop_cost`` — per-element processor distance summed over elements
+  (the paper's grid metric made operational — equal to equation 1
+  exactly under the identity distribution — or, given per-axis
+  ``metrics`` from :mod:`repro.topology`, the machine interconnect's
+  distance);
 * ``broadcast_elements`` — elements broadcast along replicated axes.
+
+General communication (axis or stride mismatch) has no routing
+distance: the whole object moves, but which links it crosses is not a
+function of any topology, so general moves carry ``hop_cost == 0`` and
+are tallied in ``general_elements`` (the analytic discrete-metric
+charge) as well as ``elements_moved``.  Under the identity distribution
+this keeps the equation-1 identity exact even on programs with general
+edges: ``hop_cost + broadcast_elements + general_elements`` equals the
+paper's analytic cost.
 
 All counting is vectorized: element positions are affine images of
 index grids, so a d-dimensional object costs O(elements) numpy work.
@@ -18,13 +29,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..align.position import Alignment
 from ..ir.affine import AffineForm
 from ..ir.symbols import LIV
+from ..topology import AxisMetric
 from .distribution import Distribution
 
 
@@ -32,9 +44,10 @@ from .distribution import Distribution
 class MoveCount:
     elements: int = 0  # object size
     elements_moved: int = 0
-    hop_cost: int = 0
+    hop_cost: int = 0  # topological routing distance; 0 for general moves
     broadcast_elements: int = 0
     general: bool = False  # axis/stride mismatch: everything moved
+    general_elements: int = 0  # elements moved by general communication
 
     def __add__(self, other: "MoveCount") -> "MoveCount":
         return MoveCount(
@@ -43,6 +56,7 @@ class MoveCount:
             self.hop_cost + other.hop_cost,
             self.broadcast_elements + other.broadcast_elements,
             self.general or other.general,
+            self.general_elements + other.general_elements,
         )
 
 
@@ -77,15 +91,23 @@ def count_move(
     shape: tuple[int, ...],
     env: Mapping[LIV, int],
     dist: Distribution,
+    metrics: Sequence[AxisMetric] | None = None,
 ) -> MoveCount:
-    """Count the communication of moving one object from src to dst."""
+    """Count the communication of moving one object from src to dst.
+
+    ``metrics`` (one per template axis, typically from
+    :func:`repro.topology.distribution_metrics`) prices hops with the
+    machine's interconnect; ``None`` is the paper's L1 grid metric.
+    """
     n = int(np.prod(shape)) if shape else 1
     mc = MoveCount(elements=n)
-    # Axis/stride agreement (pointwise at this iteration).
+    # Axis/stride agreement (pointwise at this iteration).  General
+    # communication moves everything but has no per-topology routing
+    # distance, so hop_cost stays 0.
     if src.axis_signature() != dst.axis_signature():
         mc.general = True
         mc.elements_moved = n
-        mc.hop_cost = n  # charged one unit per element for general comm
+        mc.general_elements = n
         return mc
     for a1, a2 in zip(src.axes, dst.axes):
         if a1.is_body:
@@ -93,7 +115,7 @@ def count_move(
             if a1.stride.evaluate(env) != a2.stride.evaluate(env):
                 mc.general = True
                 mc.elements_moved = n
-                mc.hop_cost = n
+                mc.general_elements = n
                 return mc
     # Broadcast axes.
     for a1, a2 in zip(src.axes, dst.axes):
@@ -111,8 +133,11 @@ def count_move(
         s = [src_pos[i] for i in active]
         d = [dst_pos[i] for i in active]
         sub = Distribution(tuple(dist.axes[i] for i in active))
+        sub_metrics = (
+            None if metrics is None else tuple(metrics[i] for i in active)
+        )
         moved = sub.moved_mask(s, d)
-        hops = sub.hop_distance(s, d)
+        hops = sub.hop_distance(s, d, sub_metrics)
         mc.elements_moved = int(np.sum(moved))
         mc.hop_cost = int(np.sum(hops))
     return mc

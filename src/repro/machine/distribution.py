@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..topology import AxisMetric
 from .template import ProcessorGrid, Template
 
 
@@ -67,10 +68,18 @@ class AxisDistribution:
         raise NotImplementedError
 
     def processor_coordinate_distance(
-        self, a: np.ndarray, b: np.ndarray
+        self, a: np.ndarray, b: np.ndarray, metric: AxisMetric | None = None
     ) -> np.ndarray:
-        """|proc(a) - proc(b)| along this axis (hop distance)."""
-        return np.abs(self.map(a) - self.map(b))
+        """Hop distance between the owners of cells ``a`` and ``b``.
+
+        ``metric`` is the interconnect's per-axis distance kernel
+        (:mod:`repro.topology`); ``None`` is the paper's open chain,
+        ``|proc(a) - proc(b)|``.
+        """
+        pa, pb = self.map(a), self.map(b)
+        if metric is None:
+            return np.abs(pa - pb)
+        return metric.hops(pa, pb)
 
 
 @dataclass(frozen=True)
@@ -224,12 +233,25 @@ class Distribution:
         return moved
 
     def hop_distance(
-        self, src: Sequence[np.ndarray], dst: Sequence[np.ndarray]
+        self,
+        src: Sequence[np.ndarray],
+        dst: Sequence[np.ndarray],
+        metrics: Sequence[AxisMetric] | None = None,
     ) -> np.ndarray:
-        """Per-element L1 distance in processor-grid hops."""
+        """Per-element processor-hop distance, summed over axes.
+
+        ``metrics`` (one per axis, from
+        :func:`repro.topology.distribution_metrics`) prices each axis
+        with the machine's interconnect; ``None`` is the paper's L1
+        grid metric.
+        """
         total = None
-        for ax, s, d in zip(self.axes, src, dst):
-            h = ax.processor_coordinate_distance(np.asarray(s), np.asarray(d))
+        for i, (ax, s, d) in enumerate(zip(self.axes, src, dst)):
+            h = ax.processor_coordinate_distance(
+                np.asarray(s),
+                np.asarray(d),
+                None if metrics is None else metrics[i],
+            )
             total = h if total is None else total + h
         assert total is not None
         return total

@@ -18,6 +18,7 @@ from ..adg.graph import ADG, ADGEdge
 from ..align.cost import AlignmentMap
 from ..align.pipeline import AlignmentPlan
 from ..ir.symbols import LIV
+from ..topology import Topology, distribution_metrics
 from .comm import MoveCount, _axis_positions, count_move
 from .distribution import Distribution
 from .template import ProcessorGrid, Template
@@ -48,6 +49,12 @@ class TrafficReport:
     @property
     def general_edges(self) -> int:
         return sum(1 for t in self.edges if t.count.general)
+
+    @property
+    def general_elements(self) -> int:
+        """Elements moved by general (axis/stride-mismatch) comm — the
+        analytic discrete-metric charge; hop_cost excludes them."""
+        return sum(t.count.general_elements for t in self.edges)
 
     def nonzero(self) -> list[EdgeTraffic]:
         return [
@@ -110,13 +117,19 @@ def measure_traffic(
     alignments: AlignmentMap,
     dist: Distribution,
     control_weighted: bool = False,
+    topology: Topology | None = None,
 ) -> TrafficReport:
     """Count all residual communication of the aligned program.
 
     ``control_weighted=False`` counts every edge as executing (the
     worst-case trace); with True, counts are scaled by the edge's
-    control weight (expected-cost mode for branches).
+    control weight (expected-cost mode for branches).  ``topology``
+    prices hops with the machine's interconnect metrics
+    (:mod:`repro.topology`); ``None`` is the paper's L1 grid.
     """
+    metrics = (
+        None if topology is None else distribution_metrics(topology, dist)
+    )
     report = TrafficReport()
     for e in adg.edges:
         total = MoveCount()
@@ -128,6 +141,7 @@ def measure_traffic(
                 shape,
                 env,
                 dist,
+                metrics,
             )
             total = total + mc
         if control_weighted and e.control_weight != 1.0:
@@ -138,6 +152,7 @@ def measure_traffic(
                 int(round(total.hop_cost * f)),
                 int(round(total.broadcast_elements * f)),
                 total.general,
+                int(round(total.general_elements * f)),
             )
         report.edges.append(EdgeTraffic(e, total))
     return report
@@ -148,6 +163,7 @@ def measure_plan(
     dist: Distribution | None = None,
     processors: tuple[int, ...] | None = None,
     scheme: str = "identity",
+    topology: Topology | None = None,
 ) -> TrafficReport:
     """Measure an :class:`AlignmentPlan` under a distribution scheme.
 
@@ -155,6 +171,8 @@ def measure_plan(
     non-identity schemes a processor grid must be given.  The template
     window is the exact :func:`coordinate_bounds` of the aligned traffic,
     so the distribution owns every cell the measurement touches.
+    ``topology`` selects the interconnect pricing hops (default: the
+    paper's L1 grid).
     """
     adg = plan.adg
     if dist is None:
@@ -176,4 +194,4 @@ def measure_plan(
                 dist = Distribution.block_cyclic(template, grid, bases=bases)
             else:
                 raise ValueError(f"unknown scheme {scheme!r}")
-    return measure_traffic(adg, plan.alignments, dist)
+    return measure_traffic(adg, plan.alignments, dist, topology=topology)

@@ -4,13 +4,18 @@ For every generated scenario (all families of :mod:`repro.lang.generate`,
 fixed seeds):
 
 * the pipeline's analytic equation-1 cost equals the machine simulator's
-  measured cost under the identity distribution (hops + broadcasts)
-  whenever no edge is general communication;
+  measured cost under the identity distribution — hops plus broadcasts
+  plus the discrete-metric charge of general moves (which carry no
+  topological hop cost);
 * the compiled :class:`~repro.distrib.CommProfile` agrees with the
   executor's counts exactly — general edges included — under both the
   identity distribution and the planner's chosen distribution;
 * the exact-DP distribution planner is never beaten by the
-  greedy/local-search fallback on the same instance.
+  greedy/local-search fallback on the same instance;
+* both equalities hold on every machine model: for each scenario family
+  and each sampled topology (grid, torus, ring, hypercube,
+  hierarchical), analytic cost == simulator cost under the identity
+  distribution and under the per-topology planned distribution.
 
 These are the oracles that let the batch engine trust its numbers: any
 memoization or refactor that shifts a cost breaks one of these
@@ -23,13 +28,21 @@ import pytest
 
 from repro.align import align_program
 from repro.distrib import build_profile, plan_distribution
-from repro.lang.generate import FAMILIES, generate_corpus, generate_scenario
+from repro.lang.generate import (
+    FAMILIES,
+    generate_corpus,
+    generate_scenario,
+    topology_corpus,
+)
 from repro.machine import Distribution
 from repro.machine.executor import measure_traffic
+from repro.topology import parse_topology
 
 SEED = 0
 CORPUS = generate_corpus(28, seed=SEED)
 NPROCS = 4
+# One machine per kind, all sized for NPROCS processors.
+TOPOLOGIES = topology_corpus(5, seed=SEED, nprocs=NPROCS)
 
 
 def _ids(corpus):
@@ -53,12 +66,15 @@ def test_analytic_cost_matches_simulator_identity(scenario, planned):
     rep = measure_traffic(
         plan.adg, plan.alignments, Distribution.identity(plan.adg.template_rank)
     )
-    if all(not t.count.general for t in rep.edges):
-        assert plan.total_cost == rep.hop_cost + rep.broadcast_elements, (
-            scenario.name
-        )
-    # The profile equality is unconditional (general edges are priced
-    # identically by model and simulator).
+    # Unconditional: general moves carry the discrete-metric charge in
+    # general_elements (and zero hops), so the equation-1 identity holds
+    # even on programs with general communication.
+    assert (
+        plan.total_cost
+        == rep.hop_cost + rep.broadcast_elements + rep.general_elements
+    ), scenario.name
+    # The profile equality is unconditional too (general edges are
+    # priced identically by model and simulator).
     cv = profile.evaluate(Distribution.identity(profile.template_rank))
     assert cv.hops == rep.hop_cost, scenario.name
     assert cv.moved == rep.elements_moved, scenario.name
@@ -98,8 +114,34 @@ def test_every_family_covered_without_replication(family):
     rep = measure_traffic(
         plan.adg, plan.alignments, Distribution.identity(plan.adg.template_rank)
     )
-    if all(not t.count.general for t in rep.edges):
-        assert plan.total_cost == rep.hop_cost + rep.broadcast_elements
+    assert (
+        plan.total_cost
+        == rep.hop_cost + rep.broadcast_elements + rep.general_elements
+    )
+
+
+@pytest.mark.parametrize("spec", TOPOLOGIES, ids=TOPOLOGIES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_every_family_on_every_topology(family, spec, planned):
+    """Analytic cost == simulator cost per topology: the compiled
+    profile and the executor must agree hop for hop on every machine
+    model, both under the identity distribution and under the plan the
+    topology-aware planner actually picks."""
+    scenario = next(sc for sc in CORPUS if sc.family == family)
+    plan, profile = planned[scenario.name]
+    topo = parse_topology(spec)
+    ident = Distribution.identity(profile.template_rank)
+    rep = measure_traffic(plan.adg, plan.alignments, ident, topology=topo)
+    cv = profile.evaluate(ident, topo)
+    assert cv.hops == rep.hop_cost, (family, spec)
+    assert cv.moved == rep.elements_moved, (family, spec)
+    assert cv.broadcast == rep.broadcast_elements, (family, spec)
+    dplan = plan_distribution(profile, topo.nprocs, topology=topo)
+    measured = measure_traffic(
+        plan.adg, plan.alignments, dplan.to_distribution(), topology=topo
+    )
+    assert dplan.cost.hops == measured.hop_cost, (family, spec)
+    assert dplan.cost.moved == measured.elements_moved, (family, spec)
 
 
 def test_batch_engine_verify_flag_agrees():

@@ -48,10 +48,15 @@ class TestAcceptance:
         modeled = profile.evaluate(ident)
         measured = measure_traffic(plan.adg, plan.alignments, ident)
         assert modeled.hops == measured.hop_cost, name
-        # and the identity machine realizes the paper's equation-1 cost
-        # (hops plus the once-charged broadcast volume)
+        # and the identity machine realizes the paper's equation-1 cost:
+        # hops plus the once-charged broadcast volume plus the
+        # discrete-metric charge of general moves (which carry no
+        # topological hop cost)
         assert (
-            measured.hop_cost + measured.broadcast_elements == plan.total_cost
+            measured.hop_cost
+            + measured.broadcast_elements
+            + measured.general_elements
+            == plan.total_cost
         ), name
 
     @pytest.mark.parametrize("name,make,kw", EXAMPLES)
