@@ -20,14 +20,14 @@ def _static_cost(adg):
     for p in adg.ports():
         if p.node.kind.name not in STORAGE:
             continue
-        cands = solver.candidates[id(p)]
+        cands = solver.candidates[p.key]
         static_only = [
             lab
             for lab in cands
             if all(ax.stride is None or ax.stride.is_constant for ax in lab.axes)
         ]
         if static_only:
-            solver.candidates[id(p)] = static_only
+            solver.candidates[p.key] = static_only
     return solver.solve(regenerate=False).cost
 
 

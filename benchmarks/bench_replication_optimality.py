@@ -32,7 +32,7 @@ def _exhaustive_optimum(adg, skel, program, axis):
         if _current_axis_spread(n, skel, axis):
             continue
         body = any(
-            axis < skel[id(p)].template_rank and skel[id(p)].axes[axis].is_body
+            axis < skel[p.key].template_rank and skel[p.key].axes[axis].is_body
             for p in n.ports
         )
         if body or n.kind.name in ("SOURCE", "SINK"):
@@ -74,8 +74,8 @@ def _run_case(name, make):
     def broadcast_cost(result):
         total = Fraction(0)
         for e in adg.edges:
-            lu = result.labels.get((id(e.tail), axis), "N")
-            lv = result.labels.get((id(e.head), axis), "N")
+            lu = result.labels.get((e.tail.key, axis), "N")
+            lv = result.labels.get((e.head.key, axis), "N")
             if lu == "N" and lv == "R":
                 total += weighted_moments(e.space, e.weight).m0
         return total
@@ -150,7 +150,7 @@ def test_networkx_crosscheck(benchmark):
                 pinned_n.add((n.nid, "out"))
                 continue
             body = any(
-                axis < skel[id(p)].template_rank and skel[id(p)].axes[axis].is_body
+                axis < skel[p.key].template_rank and skel[p.key].axes[axis].is_body
                 for p in n.ports
             )
             if body or n.kind in (NodeKind.SOURCE, NodeKind.SINK):

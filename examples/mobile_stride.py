@@ -53,7 +53,7 @@ def main() -> None:
     for p in adg.ports():
         if p.node.kind.name not in storage_kinds:
             continue
-        cands = solver.candidates[id(p)]
+        cands = solver.candidates[p.key]
         static_only = [
             lab
             for lab in cands
@@ -62,7 +62,7 @@ def main() -> None:
             )
         ]
         if static_only:
-            solver.candidates[id(p)] = static_only
+            solver.candidates[p.key] = static_only
     static = solver.solve(regenerate=False)
     print(f"\nbest static-stride cost: {static.cost}")
     print(

@@ -16,7 +16,9 @@ replicates the read-only V across rows (Section 5, rule 3).
 """
 
 from repro import align_program, parse
+from repro.align.pipeline import plan_context
 from repro.machine import measure_plan
+from repro.passes import Pipeline, trace_table
 
 PROGRAM = """
 real A(100,100), V(200)
@@ -38,8 +40,14 @@ def main() -> None:
     print(mobile.report())
 
     print("\n=== mobile + replication (Section 5) ===")
-    full = align_program(program, replication=True)
+    # Drive the staged pipeline explicitly this time, to show the pass
+    # trace: each phase is a registered pass with its own wall time, and
+    # the replication <-> offset quiescence loop reports its rounds.
+    ctx = Pipeline().run(plan_context(program, replication=True), goal="plan")
+    full = ctx.get("plan")
     print(full.report())
+    print("\npass trace (the same pipeline align_program wraps):")
+    print(trace_table(ctx.trace, indent="  "))
 
     print(
         f"\nmobile improves on static by "

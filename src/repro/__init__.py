@@ -28,6 +28,10 @@ Subpackages:
 * :mod:`repro.align` — the paper's contribution: axis/stride labeling,
   the five mobile-offset algorithms, replication labeling by min-cut,
   and the full pipeline;
+* :mod:`repro.passes` — the staged planning pipeline: every phase a
+  registered pass with requires/provides artifact contracts, run by an
+  instrumented, prefix-reusable ``Pipeline`` over a ``PlanContext``
+  (machine sweeps re-execute only the machine-dependent suffix);
 * :mod:`repro.solvers` — from-scratch simplex LP and max-flow/min-cut;
 * :mod:`repro.topology` — pluggable machine interconnects (grid, torus,
   ring, hypercube, hierarchical) whose per-axis hop metrics price every
@@ -59,9 +63,10 @@ from .align import (
 from .topology import Topology, default_topology, parse_topology
 from .machine import Distribution, measure_plan, run_program
 from .distrib import DistributionPlan, build_profile, plan_distribution
-from .batch import BatchReport, PlanResult, plan_many, plan_one
+from .batch import BatchReport, PlanResult, plan_many, plan_one, plan_sweep
+from .passes import MachineSpec, Pipeline, PlanContext
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ProgramBuilder",
@@ -91,5 +96,9 @@ __all__ = [
     "PlanResult",
     "plan_many",
     "plan_one",
+    "plan_sweep",
+    "MachineSpec",
+    "Pipeline",
+    "PlanContext",
     "__version__",
 ]

@@ -6,9 +6,11 @@ Usage::
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
                          [--distribute P] [--phases] [--topology SPEC]
+                         [--trace-passes]
     python -m repro --batch <dir|count> [--jobs J] [--serial]
                          [--batch-seed S] [--batch-json OUT.json]
                          [--distribute P] [--topology SPEC]
+    python -m repro --explain [--distribute P] [--phases]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
 alignment pipeline, and prints the report; optionally renders the ADG,
@@ -28,7 +30,13 @@ either a directory of program sources (planned file by file) or an
 integer N (a generated N-program corpus from
 :mod:`repro.lang.generate`); programs are planned concurrently over a
 process pool and the aggregate report — throughput, failures, cache hit
-rates — is printed, optionally dumped as JSON.
+rates, per-pass timings — is printed, optionally dumped as JSON.
+
+Every plan is produced by the staged pass pipeline
+(:mod:`repro.passes`).  ``--explain`` prints the pass graph the chosen
+flags would execute and exits; ``--trace-passes`` appends the per-pass
+trace (wall time, fixpoint rounds, cache-counter deltas) to a normal
+run's report.
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ import os
 import sys
 
 from .adg import to_dot
-from .align import ALGORITHMS, align_program
+from .align import ALGORITHMS
 from .lang import parse
 from .machine import measure_plan
 
@@ -154,6 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         help="with --distribute: plan per program phase with costed remaps",
     )
     ap.add_argument(
+        "--trace-passes",
+        action="store_true",
+        help="print the staged pipeline's per-pass trace (time, fixpoint "
+        "rounds, cache deltas) after the report",
+    )
+    ap.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the pass graph the chosen flags would run, then exit",
+    )
+    ap.add_argument(
         "--batch",
         metavar="DIR|N",
         help="batch mode: plan every program in a directory, or a "
@@ -204,8 +223,21 @@ def main(argv: list[str] | None = None) -> int:
                 args.distribute = topology.nprocs
     if args.distribute is not None and args.distribute < 1:
         ap.error("--distribute needs at least 1 processor")
-    if args.phases and args.distribute is None:
+    if args.phases and args.distribute is None and not args.explain:
         ap.error("--phases requires --distribute")
+    if args.explain and args.batch is not None:
+        ap.error("--explain cannot be combined with --batch")
+    if args.explain:
+        from .passes import Pipeline
+
+        if args.phases:
+            goal: tuple[str, ...] = ("plan", "distribution", "phase_plan")
+        elif args.distribute is not None or args.topology is not None:
+            goal = ("plan", "distribution")
+        else:
+            goal = ("plan",)
+        print(Pipeline().explain(goal=goal))
+        return 0
     if args.batch is None and args.file is None:
         ap.error("a program file is required unless --batch is given")
     if args.batch is not None:
@@ -214,6 +246,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--measure", args.measure is not None),
             ("--dot", args.dot is not None),
             ("--phases", args.phases),
+            ("--trace-passes", args.trace_passes),
         ]:
             if present:
                 ap.error(f"{flag} cannot be combined with --batch")
@@ -241,13 +274,31 @@ def main(argv: list[str] | None = None) -> int:
     source = sys.stdin.read() if args.file == "-" else open(args.file).read()
     program = parse(source, name=args.file)
 
-    plan = align_program(
+    # Single-program mode drives the staged pipeline explicitly: one
+    # context, goals chosen by the flags, every artifact (plan, profile,
+    # distribution, phase plan) read back off the context.
+    from .align.pipeline import plan_context
+    from .passes import MachineSpec, Pipeline, trace_table
+
+    pipeline = Pipeline()
+    ctx = plan_context(
         program,
         algorithm=args.algorithm,
         replication=not args.no_replication,
         mobile=not args.static,
         **kw,
     )
+    goals = ["plan"]
+    if args.distribute is not None:
+        ctx.put(
+            "machine", MachineSpec.of(args.distribute, topology=args.topology)
+        )
+        goals.append("distribution")
+        if args.phases:
+            ctx.put("phase_options", {})
+            goals.append("phase_plan")
+    pipeline.run(ctx, goal=tuple(goals))
+    plan = ctx.get("plan")
     print(plan.report())
 
     if args.dot:
@@ -271,11 +322,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"machine ({args.measure}): {traffic.summary()}")
 
     if args.distribute is not None:
-        from .distrib import build_profile, naive_costs, plan_distribution
+        from .distrib import naive_costs
         from .machine import measure_traffic
 
-        profile = build_profile(plan.adg, plan.alignments)
-        dplan = plan_distribution(profile, args.distribute, topology=topology)
+        profile = ctx.get("profile")
+        dplan = ctx.get("distribution")
         print(dplan.render())
         naive = naive_costs(profile, args.distribute, topology)
         for name, cost in sorted(naive.items()):
@@ -285,22 +336,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"machine (planned): {traffic.summary()}")
         if args.phases:
-            from .distrib import plan_program_phases
+            print(ctx.get("phase_plan").render())
 
-            align_kw = dict(
-                algorithm=args.algorithm,
-                replication=not args.no_replication,
-                mobile=not args.static,
-                **kw,
-            )
-            print(
-                plan_program_phases(
-                    program,
-                    args.distribute,
-                    align_kw=align_kw,
-                    topology=topology,
-                ).render()
-            )
+    if args.trace_passes:
+        print("\npass trace:")
+        print(trace_table(ctx.trace, indent="  "))
     return 0
 
 

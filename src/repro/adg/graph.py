@@ -31,6 +31,12 @@ class Port:
     tuple of affine extents); ``space`` the iteration space of the
     enclosing loops.  Alignments are assigned to ports by the alignment
     phase and stored externally (the ADG itself is analysis-agnostic).
+
+    ``key`` is the port's *stable* identity — ``"n<nid>.<index>"``,
+    assigned at construction.  Every external per-port map (skeletons,
+    offsets, replication labels, alignments) is keyed by it rather than
+    by ``id(port)``, so those maps survive pickling across process
+    boundaries and remain valid against a re-hydrated graph.
     """
 
     node: "ADGNode"
@@ -39,6 +45,7 @@ class Port:
     space: IterationSpace
     is_output: bool
     index: int = 0  # ordinal within the node's port list
+    key: str = ""
 
     @property
     def rank(self) -> int:
@@ -74,7 +81,16 @@ class ADGNode:
         space: IterationSpace,
         is_output: bool,
     ) -> Port:
-        p = Port(self, name, shape, space, is_output, index=len(self.ports))
+        index = len(self.ports)
+        p = Port(
+            self,
+            name,
+            shape,
+            space,
+            is_output,
+            index=index,
+            key=f"n{self.nid}.{index}",
+        )
         self.ports.append(p)
         return p
 
@@ -118,8 +134,10 @@ class ADG:
         self.nodes: list[ADGNode] = []
         self.edges: list[ADGEdge] = []
         self._next_eid = 0
-        self._out_edges: dict[int, list[ADGEdge]] = {}
-        self._in_edges: dict[int, list[ADGEdge]] = {}
+        # Adjacency is keyed by the stable Port.key (not id(port)) so a
+        # pickled ADG re-hydrates with working out_edges/in_edges maps.
+        self._out_edges: dict[str, list[ADGEdge]] = {}
+        self._in_edges: dict[str, list[ADGEdge]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -143,22 +161,22 @@ class ADG:
         e = ADGEdge(tail, head, weight, space, control_weight, eid=self._next_eid)
         self._next_eid += 1
         self.edges.append(e)
-        self._out_edges.setdefault(id(tail), []).append(e)
-        self._in_edges.setdefault(id(head), []).append(e)
+        self._out_edges.setdefault(tail.key, []).append(e)
+        self._in_edges.setdefault(head.key, []).append(e)
         return e
 
     def remove_edge(self, e: ADGEdge) -> None:
         self.edges.remove(e)
-        self._out_edges[id(e.tail)].remove(e)
-        self._in_edges[id(e.head)].remove(e)
+        self._out_edges[e.tail.key].remove(e)
+        self._in_edges[e.head.key].remove(e)
 
     # -- queries ---------------------------------------------------------------
 
     def out_edges(self, p: Port) -> list[ADGEdge]:
-        return list(self._out_edges.get(id(p), []))
+        return list(self._out_edges.get(p.key, []))
 
     def in_edges(self, p: Port) -> list[ADGEdge]:
-        return list(self._in_edges.get(id(p), []))
+        return list(self._in_edges.get(p.key, []))
 
     def ports(self) -> Iterator[Port]:
         for n in self.nodes:
@@ -168,7 +186,7 @@ class ADG:
         return [n for n in self.nodes if n.kind is kind]
 
     def edge_between(self, tail: Port, head: Port) -> Optional[ADGEdge]:
-        for e in self._out_edges.get(id(tail), []):
+        for e in self._out_edges.get(tail.key, []):
             if e.head is head:
                 return e
         return None
@@ -195,7 +213,7 @@ class ADG:
                     f"rank mismatch on {e}: {e.tail.rank} vs {e.head.rank}"
                 )
         for p in self.ports():
-            if not p.is_output and len(self._in_edges.get(id(p), [])) > 1:
+            if not p.is_output and len(self._in_edges.get(p.key, [])) > 1:
                 raise AssertionError(f"use port {p.uid} has multiple definitions")
 
     def __repr__(self) -> str:

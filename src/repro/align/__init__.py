@@ -49,7 +49,13 @@ from .cost import (
     offset_only_cost,
     total_cost,
 )
-from .pipeline import AlignmentPlan, align_and_distribute, align_program
+from .pipeline import (
+    AlignmentPlan,
+    DistributionOptionsError,
+    align_and_distribute,
+    align_program,
+    plan_context,
+)
 
 __all__ = [
     "Alignment",
@@ -97,6 +103,8 @@ __all__ = [
     "offset_only_cost",
     "total_cost",
     "AlignmentPlan",
+    "DistributionOptionsError",
     "align_and_distribute",
     "align_program",
+    "plan_context",
 ]

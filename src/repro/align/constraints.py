@@ -75,12 +75,12 @@ class LoopBack:
 
 OffsetRelation = Union[EqualShift, EntryEval, LoopBack]
 
-Skeleton = dict[int, Alignment]  # keyed by id(port)
+Skeleton = dict[str, Alignment]  # keyed by Port.key
 
 
 def _skel(skeleton: Skeleton, p: Port) -> Alignment:
     try:
-        return skeleton[id(p)]
+        return skeleton[p.key]
     except KeyError:
         raise KeyError(f"port {p.uid} missing from skeleton") from None
 

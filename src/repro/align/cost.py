@@ -29,7 +29,7 @@ from ..ir.polynomial import Polynomial
 from .position import Alignment
 from .span import has_sign_change
 
-AlignmentMap = dict[int, Alignment]  # keyed by id(port)
+AlignmentMap = dict[str, Alignment]  # keyed by Port.key
 
 _ENUM_LIMIT = 4096
 
@@ -105,10 +105,10 @@ class EdgeCost:
     cost: Fraction
 
 
-def edge_cost(e: ADGEdge, alignments: Mapping[int, Alignment]) -> EdgeCost:
+def edge_cost(e: ADGEdge, alignments: Mapping[str, Alignment]) -> EdgeCost:
     """Exact realignment cost of one edge under the alignment map."""
-    ax = alignments[id(e.tail)]
-    ay = alignments[id(e.head)]
+    ax = alignments[e.tail.key]
+    ay = alignments[e.head.key]
     cw = Fraction(e.control_weight).limit_denominator(10**9)
     if (
         ax.axis_signature() != ay.axis_signature()
@@ -139,21 +139,21 @@ def edge_cost(e: ADGEdge, alignments: Mapping[int, Alignment]) -> EdgeCost:
     return EdgeCost(e, kind, cw * total)
 
 
-def total_cost(adg: ADG, alignments: Mapping[int, Alignment]) -> Fraction:
+def total_cost(adg: ADG, alignments: Mapping[str, Alignment]) -> Fraction:
     return sum((edge_cost(e, alignments).cost for e in adg.edges), Fraction(0))
 
 
 def cost_breakdown(
-    adg: ADG, alignments: Mapping[int, Alignment]
+    adg: ADG, alignments: Mapping[str, Alignment]
 ) -> list[EdgeCost]:
     return [edge_cost(e, alignments) for e in adg.edges]
 
 
 def offset_only_cost(
     adg: ADG,
-    skeleton: Mapping[int, Alignment],
-    offsets: Mapping[tuple[int, int], AffineForm],
-    replicated: set[tuple[int, int]] | None = None,
+    skeleton: Mapping[str, Alignment],
+    offsets: Mapping[tuple[str, int], AffineForm],
+    replicated: set[tuple[str, int]] | None = None,
 ) -> Fraction:
     """Grid-metric cost of an offset assignment, skipping edges that are
     general communication (skeleton mismatch) or replicated — the exact
@@ -161,13 +161,13 @@ def offset_only_cost(
     replicated = replicated or set()
     total = Fraction(0)
     for e in adg.edges:
-        if skeleton[id(e.tail)] != skeleton[id(e.head)]:
+        if skeleton[e.tail.key] != skeleton[e.head.key]:
             continue
         cw = Fraction(e.control_weight).limit_denominator(10**9)
         for tau in range(adg.template_rank):
-            if (id(e.tail), tau) in replicated or (id(e.head), tau) in replicated:
+            if (e.tail.key, tau) in replicated or (e.head.key, tau) in replicated:
                 continue
-            span = offsets[(id(e.tail), tau)] - offsets[(id(e.head), tau)]
+            span = offsets[(e.tail.key, tau)] - offsets[(e.head.key, tau)]
             if span == AffineForm(0):
                 continue
             total += cw * abs_weighted_span(span, e.weight, e.space)
@@ -176,9 +176,9 @@ def offset_only_cost(
 
 def assemble_alignments(
     adg: ADG,
-    skeleton: Mapping[int, Alignment],
-    offsets: Mapping[tuple[int, int], AffineForm],
-    replicated: set[tuple[int, int]] | None = None,
+    skeleton: Mapping[str, Alignment],
+    offsets: Mapping[tuple[str, int], AffineForm],
+    replicated: set[tuple[str, int]] | None = None,
 ) -> AlignmentMap:
     """Combine skeletons, offsets and replication labels into full
     per-port alignments."""
@@ -187,13 +187,13 @@ def assemble_alignments(
     replicated = replicated or set()
     out: AlignmentMap = {}
     for p in adg.ports():
-        skel = skeleton[id(p)]
+        skel = skeleton[p.key]
         axes = []
         for tau, ax in enumerate(skel.axes):
-            off = offsets.get((id(p), tau), AffineForm(0))
+            off = offsets.get((p.key, tau), AffineForm(0))
             rep = None
-            if (id(p), tau) in replicated and not ax.is_body:
+            if (p.key, tau) in replicated and not ax.is_body:
                 rep = ReplicatedExtent(full=True)
             axes.append(AxisAlignment(ax.array_axis, ax.stride, off, rep))
-        out[id(p)] = Alignment(tuple(axes))
+        out[p.key] = Alignment(tuple(axes))
     return out

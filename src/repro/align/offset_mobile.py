@@ -41,7 +41,7 @@ from .offset_static import (
 from .position import Alignment
 from .span import has_sign_change, refine_space_at_crossings
 
-Skeleton = Mapping[int, Alignment]
+Skeleton = Mapping[str, Alignment]
 
 
 @dataclass
@@ -106,7 +106,7 @@ def _edge_spans(
         for tau in range(adg.template_rank):
             if not edge_is_offset_costed(e, skeleton, tau, rep):
                 continue
-            span = offsets[(id(e.tail), tau)] - offsets[(id(e.head), tau)]
+            span = offsets[(e.tail.key, tau)] - offsets[(e.head.key, tau)]
             yield e, tau, span
 
 
@@ -198,7 +198,7 @@ def state_space_search(
                     for delta in (1, -1):
                         trial = dict(offsets)
                         for p in n.ports:
-                            key = (id(p), tau)
+                            key = (p.key, tau)
                             form = trial[key]
                             if slot is None:
                                 trial[key] = form + delta

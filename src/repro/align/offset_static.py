@@ -42,16 +42,16 @@ from ..solvers.lp import LinExpr, LPModel
 from .constraints import EntryEval, EqualShift, LoopBack, OffsetRelation, node_offset_relations
 from .position import Alignment
 
-# (id(port), template_axis) -> whether that port/axis is replicated.
-ReplicationLabels = set[tuple[int, int]]
+# (Port.key, template_axis) -> whether that port/axis is replicated.
+ReplicationLabels = set[tuple[str, int]]
 
 # edge -> subranges covering its iteration space.
 PartitionPlan = dict[int, list[IterationSpace]]  # keyed by edge eid
 
-# Result: (id(port), axis) -> offset AffineForm with integer coefficients.
-OffsetMap = dict[tuple[int, int], AffineForm]
+# Result: (Port.key, axis) -> offset AffineForm with integer coefficients.
+OffsetMap = dict[tuple[str, int], AffineForm]
 
-Slot = tuple[int, object]  # (id(port), None | LIV)
+Slot = tuple[str, object]  # (Port.key, None | LIV)
 
 
 @dataclass
@@ -68,12 +68,12 @@ class OffsetSolution:
     stats: list[OffsetLPStats] = field(default_factory=list)
 
     def of(self, p: Port, axis: int) -> AffineForm:
-        return self.offsets[(id(p), axis)]
+        return self.offsets[(p.key, axis)]
 
 
 def edge_is_offset_costed(
     e: ADGEdge,
-    skeleton: Mapping[int, Alignment],
+    skeleton: Mapping[str, Alignment],
     axis: int,
     replicated: ReplicationLabels,
 ) -> bool:
@@ -83,9 +83,9 @@ def edge_is_offset_costed(
     general-communication cost (Section 3); edges with a replicated
     endpoint on this axis are discarded per Section 5.1.
     """
-    if skeleton[id(e.tail)] != skeleton[id(e.head)]:
+    if skeleton[e.tail.key] != skeleton[e.head.key]:
         return False
-    if (id(e.tail), axis) in replicated or (id(e.head), axis) in replicated:
+    if (e.tail.key, axis) in replicated or (e.head.key, axis) in replicated:
         return False
     return True
 
@@ -96,7 +96,7 @@ class OffsetLP:
     def __init__(
         self,
         adg: ADG,
-        skeleton: Mapping[int, Alignment],
+        skeleton: Mapping[str, Alignment],
         axis: int,
         plan: PartitionPlan,
         replicated: ReplicationLabels | None = None,
@@ -117,10 +117,10 @@ class OffsetLP:
     # -- variables ------------------------------------------------------------
 
     def _slot(self, p: Port, liv: LIV | None):
-        key = (id(p), liv)
+        key = (p.key, liv)
         v = self.vars.get(key)
         if v is None:
-            name = f"p{id(p) % 100000}_{'c' if liv is None else liv.name}"
+            name = f"p{p.key}_{'c' if liv is None else liv.name}"
             v = self.model.var(name)
             self.vars[key] = v
         return v
@@ -227,27 +227,27 @@ class OffsetLP:
         self.model.minimize(objective)
 
     def _pin_components(self) -> None:
-        parent: dict[int, int] = {}
+        parent: dict[str, str] = {}
 
-        def find(x: int) -> int:
+        def find(x: str) -> str:
             parent.setdefault(x, x)
             while parent[x] != x:
                 parent[x] = parent[parent[x]]
                 x = parent[x]
             return x
 
-        def union(a: int, b: int) -> None:
+        def union(a: str, b: str) -> None:
             ra, rb = find(a), find(b)
             if ra != rb:
                 parent[ra] = rb
 
         for rel in self.relations:
-            union(id(rel.p), id(rel.q))
+            union(rel.p.key, rel.q.key)
         for e in self.adg.edges:
-            union(id(e.tail), id(e.head))
-        pinned: set[int] = set()
+            union(e.tail.key, e.head.key)
+        pinned: set[str] = set()
         for p in self.adg.ports():
-            root = find(id(p))
+            root = find(p.key)
             if root not in pinned:
                 pinned.add(root)
                 self.model.add(LinExpr.of(self._slot(p, None)), "==", 0)
@@ -277,7 +277,7 @@ class OffsetLP:
         out: OffsetMap = {}
 
         def lp_slot(p: Port, liv: LIV | None) -> Fraction:
-            return values.get((id(p), liv), Fraction(0))
+            return values.get((p.key, liv), Fraction(0))
 
         def rounded_port(p: Port) -> AffineForm:
             coeffs = {liv: Fraction(round(lp_slot(p, liv))) for liv in p.space.livs}
@@ -288,7 +288,7 @@ class OffsetLP:
             node_rels = [
                 r for r in rels if r.p.node is n and r.q.node is n
             ]
-            assigned: dict[int, AffineForm] = {}
+            assigned: dict[str, AffineForm] = {}
             # Repeatedly derive ports from already-assigned neighbours.
             pending = list(node_rels)
             # Seed: root any port not derivable otherwise.
@@ -297,34 +297,34 @@ class OffsetLP:
             while progress:
                 progress = False
                 for rel in list(pending):
-                    pa, qa = assigned.get(id(rel.p)), assigned.get(id(rel.q))
+                    pa, qa = assigned.get(rel.p.key), assigned.get(rel.q.key)
                     if pa is not None and qa is not None:
                         pending.remove(rel)
                         continue
                     if pa is None and qa is None:
                         continue
                     if pa is not None:
-                        assigned[id(rel.q)] = self._derive_q(rel, pa, rel.q, values)
+                        assigned[rel.q.key] = self._derive_q(rel, pa, rel.q, values)
                     else:
-                        assigned[id(rel.p)] = self._derive_p(rel, qa, rel.p, values)
+                        assigned[rel.p.key] = self._derive_p(rel, qa, rel.p, values)
                     pending.remove(rel)
                     progress = True
                 if not progress and pending:
                     # Seed a root among ports of remaining relations.
                     for rel in pending:
-                        if id(rel.p) not in assigned:
-                            assigned[id(rel.p)] = rounded_port(rel.p)
+                        if rel.p.key not in assigned:
+                            assigned[rel.p.key] = rounded_port(rel.p)
                             progress = True
                             break
-                        if id(rel.q) not in assigned:
-                            assigned[id(rel.q)] = rounded_port(rel.q)
+                        if rel.q.key not in assigned:
+                            assigned[rel.q.key] = rounded_port(rel.q)
                             progress = True
                             break
             for p in order:
-                if id(p) not in assigned:
-                    assigned[id(p)] = rounded_port(p)
+                if p.key not in assigned:
+                    assigned[p.key] = rounded_port(p)
             for p in n.ports:
-                out[(id(p), self.axis)] = assigned[id(p)]
+                out[(p.key, self.axis)] = assigned[p.key]
         return out
 
     def _derive_q(
@@ -334,7 +334,7 @@ class OffsetLP:
             return pa + rel.shift
         if isinstance(rel, EntryEval):
             k, v = rel.liv, rel.value
-            ak = Fraction(round(values.get((id(q), k), Fraction(0))))
+            ak = Fraction(round(values.get((q.key, k), Fraction(0))))
             coeffs = {liv: pa.coeff(liv) for liv in rel.p.space.livs}
             coeffs[k] = ak
             const = pa.const - v * ak
@@ -363,7 +363,7 @@ class OffsetLP:
 
 def solve_offsets(
     adg: ADG,
-    skeleton: Mapping[int, Alignment],
+    skeleton: Mapping[str, Alignment],
     plan: PartitionPlan,
     replicated: ReplicationLabels | None = None,
     backend: str = "scipy",

@@ -1,6 +1,6 @@
-"""The full alignment pipeline.
+"""The full alignment pipeline — stable wrappers over :mod:`repro.passes`.
 
-Phases, in the paper's order:
+Phases, in the paper's order (each one a registered pass):
 
 1. build the ADG (Section 2.2);
 2. axis + mobile stride alignment under the discrete metric (Section 3);
@@ -8,11 +8,19 @@ Phases, in the paper's order:
 4. mobile offset alignment by RLP (Sections 4 and 5) until quiescence —
    the paper's resolution of the chicken-and-egg between replication
    (which needs to know which offsets are mobile) and offsets (which
-   skip edges with replicated endpoints);
+   skip edges with replicated endpoints) — an explicit
+   :class:`~repro.passes.core.FixpointPass`;
 5. assembly of full per-port alignments and exact cost accounting;
 6. *(optional, beyond the paper)* automatic distribution planning —
    the phase the paper defers — via :func:`align_and_distribute`,
    which attaches a :class:`repro.distrib.DistributionPlan`.
+
+:func:`align_program` and :func:`align_and_distribute` keep their
+historical signatures and produce byte-identical results to the old
+monolithic driver; they build a :class:`~repro.passes.core.PlanContext`
+and run the staged pipeline.  Callers that sweep machines should use
+the pipeline directly (``ctx.fork()`` + goal ``"distribution"``) to
+reuse the machine-independent prefix.
 """
 
 from __future__ import annotations
@@ -24,15 +32,30 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (distrib uses align)
     from ..distrib.plan import DistributionPlan
 
-from ..adg.build import build_adg
 from ..adg.graph import ADG, Port
 from ..lang.ast import Program
-from ..lang.typecheck import TypeInfo, typecheck
-from .axis_stride import AxisStrideResult, solve_axis_stride
-from .cost import AlignmentMap, EdgeCost, assemble_alignments, cost_breakdown, total_cost
-from .offset_mobile import MobileOffsetResult, solve_mobile_offsets
+from ..lang.typecheck import TypeInfo
+from .axis_stride import AxisStrideResult
+from .cost import AlignmentMap, EdgeCost, cost_breakdown
+from .offset_mobile import MobileOffsetResult
 from .position import Alignment
-from .replication import ReplicationResult, label_replication
+from .replication import ReplicationResult
+
+#: Planner keywords that belong in ``distrib_options`` — used to catch
+#: machine options smuggled into the alignment keywords (and vice versa).
+_DISTRIB_ONLY_KEYS = frozenset(
+    {"topology", "block_sizes", "exhaustive_limit", "seed", "restarts"}
+)
+#: Alignment keywords that belong in ``align_kw`` — the other direction.
+_ALIGN_ONLY_KEYS = frozenset(
+    {"algorithm", "backend", "replication", "mobile", "max_replication_rounds",
+     "info"}
+)
+
+
+class DistributionOptionsError(ValueError):
+    """Conflicting machine/metric options between ``align_kw`` and
+    ``distrib_options`` — raised instead of silently preferring one."""
 
 
 @dataclass
@@ -50,7 +73,7 @@ class AlignmentPlan:
     distribution: Optional["DistributionPlan"] = None
 
     def alignment_of(self, p: Port) -> Alignment:
-        return self.alignments[id(p)]
+        return self.alignments[p.key]
 
     def source_alignments(self) -> dict[str, Alignment]:
         """Final alignment of each declared array (at its source port)."""
@@ -59,7 +82,7 @@ class AlignmentPlan:
         out = {}
         for n in self.adg.nodes:
             if n.kind is NodeKind.SOURCE and isinstance(n.payload, SourcePayload):
-                out[n.payload.array] = self.alignments[id(n.outputs()[0])]
+                out[n.payload.array] = self.alignments[n.outputs()[0].key]
         return out
 
     def breakdown(self) -> list[EdgeCost]:
@@ -85,6 +108,43 @@ class AlignmentPlan:
         return "\n".join(lines)
 
 
+def plan_context(
+    program: Program,
+    info: TypeInfo | None = None,
+    algorithm: str = "fixed",
+    backend: str = "scipy",
+    replication: bool = True,
+    mobile: bool = True,
+    max_replication_rounds: int = 3,
+    **alg_kw,
+):
+    """A :class:`~repro.passes.core.PlanContext` seeded for ``program``.
+
+    The shared front door for every consumer of the staged pipeline
+    (wrappers, CLI, batch engine, benchmarks): puts the program, the
+    frozen alignment options and — when supplied — a precomputed
+    :class:`TypeInfo` onto a fresh context.
+    """
+    from ..passes import AlignOptions, PlanContext
+
+    ctx = PlanContext()
+    ctx.put("program", program)
+    if info is not None:
+        ctx.put("typeinfo", info)
+    ctx.put(
+        "align_options",
+        AlignOptions.of(
+            algorithm=algorithm,
+            backend=backend,
+            replication=replication,
+            mobile=mobile,
+            max_replication_rounds=max_replication_rounds,
+            **alg_kw,
+        ),
+    )
+    return ctx
+
+
 def align_program(
     program: Program,
     algorithm: str = "fixed",
@@ -101,74 +161,55 @@ def align_program(
     ``mobile=False`` computes the best *static* alignment baseline
     (program variables pinned, derived positions still track sections);
     ``replication=False`` disables Section 5 labeling (every port N).
+
+    Thin wrapper: builds a plan context and runs the registered pass
+    pipeline to the ``"plan"`` goal.
     """
-    info = info or typecheck(program)
-    adg = build_adg(program, info)
-    skel = solve_axis_stride(adg)
+    from ..passes import Pipeline
 
-    replicated: set[tuple[int, int]] = set()
-    rep_result: Optional[ReplicationResult] = None
-    offsets_result: Optional[MobileOffsetResult] = None
-    rounds = 0
-    if replication:
-        # Iterate replication labeling <-> mobile offsets until quiescence
-        # (Section 6).  Labels accumulate monotonically: once replication
-        # is justified by a mobile offset, dropping the offset's cost must
-        # not un-justify it — this guarantees termination.
-        offsets = None
-        seen: set[tuple[int, int]] | None = None
-        for _ in range(max_replication_rounds):
-            rounds += 1
-            rep_result = label_replication(
-                adg, skel.skeletons, program, offsets
-            )
-            new_rep = rep_result.replicated_ports() | (seen or set())
-            offsets_result = solve_mobile_offsets(
-                adg,
-                skel.skeletons,
-                algorithm,
-                replicated=new_rep,
-                backend=backend,
-                static=not mobile,
-                **alg_kw,
-            )
-            offsets = offsets_result.offsets
-            if new_rep == seen:
-                break
-            seen = new_rep
-        replicated = seen or set()
-    else:
-        # Baseline: only the program-forced labels (spread inputs R).
-        rounds = 1
-        rep_result = label_replication(
-            adg, skel.skeletons, program, None, minimal=True
-        )
-        replicated = rep_result.replicated_ports()
-        offsets_result = solve_mobile_offsets(
-            adg,
-            skel.skeletons,
-            algorithm,
-            replicated=replicated,
-            backend=backend,
-            static=not mobile,
-            **alg_kw,
-        )
-
-    assert offsets_result is not None
-    alignments = assemble_alignments(
-        adg, skel.skeletons, offsets_result.offsets, replicated
-    )
-    cost = total_cost(adg, alignments)
-    return AlignmentPlan(
+    ctx = plan_context(
         program,
-        adg,
-        skel,
-        rep_result,
-        offsets_result,
-        alignments,
-        cost,
-        replication_rounds=rounds,
+        info=info,
+        algorithm=algorithm,
+        backend=backend,
+        replication=replication,
+        mobile=mobile,
+        max_replication_rounds=max_replication_rounds,
+        **alg_kw,
     )
+    Pipeline().run(ctx, goal="plan")
+    return ctx.get("plan")
+
+
+def _validate_distrib_options(
+    distrib_options: Optional[dict], align_kw: dict
+) -> None:
+    """Reject conflicting machine/metric specs instead of ignoring one.
+
+    Two historical silent footguns: a distribution-planner keyword
+    (``topology`` above all) smuggled into the alignment keywords — the
+    alignment phases always price on the paper's unbounded L1 grid, so
+    the option would be dropped on the floor — and a finite-topology
+    machine in ``distrib_options`` whose processor count contradicts the
+    explicit ``nprocs`` argument.  Both now raise a single named error
+    listing the two sides of the conflict.
+    """
+    misplaced = sorted(_DISTRIB_ONLY_KEYS & set(align_kw))
+    if misplaced:
+        raise DistributionOptionsError(
+            f"distribution option(s) {misplaced} passed in align_kw="
+            f"{sorted(align_kw)} but belong in distrib_options="
+            f"{sorted(distrib_options or {})}; the alignment metric is "
+            "always the paper's L1 grid, so they would be silently ignored"
+        )
+    misplaced = sorted(_ALIGN_ONLY_KEYS & set(distrib_options or {}))
+    if misplaced:
+        raise DistributionOptionsError(
+            f"alignment option(s) {misplaced} passed in distrib_options="
+            f"{sorted(distrib_options or {})} but belong in align_kw="
+            f"{sorted(align_kw)}; the distribution planner does not "
+            "accept them"
+        )
 
 
 def align_and_distribute(
@@ -179,19 +220,31 @@ def align_and_distribute(
 ) -> AlignmentPlan:
     """Alignment plus the paper's deferred phase: distribution planning.
 
-    Runs :func:`align_program`, then hands the solved alignments to the
-    :mod:`repro.distrib` planner for ``nprocs`` processors and attaches
-    the chosen :class:`~repro.distrib.plan.DistributionPlan` to the
-    returned plan (``plan.distribution``); ``distrib_options`` forwards
-    keyword arguments to
-    :func:`repro.distrib.search.plan_distribution`.
-    """
-    # Imported lazily: repro.distrib depends on this module.
-    from ..distrib import build_profile, plan_distribution
+    Runs the full staged pipeline to the ``"distribution"`` goal for
+    ``nprocs`` processors and attaches the chosen
+    :class:`~repro.distrib.plan.DistributionPlan` to the returned plan
+    (``plan.distribution``); ``distrib_options`` forwards keyword
+    arguments to :func:`repro.distrib.search.plan_distribution`.
 
-    plan = align_program(program, **align_kw)
-    profile = build_profile(plan.adg, plan.alignments)
-    plan.distribution = plan_distribution(
-        profile, nprocs, **(distrib_options or {})
-    )
+    Raises :class:`DistributionOptionsError` when the two option sets
+    conflict — a planner option in ``align_kw``, or a finite
+    ``distrib_options`` topology whose size contradicts ``nprocs``.
+    """
+    from ..passes import MachineSpec, Pipeline
+
+    _validate_distrib_options(distrib_options, align_kw)
+    machine = MachineSpec.of(nprocs, **(distrib_options or {}))
+    topo = machine.topology_object()
+    if topo is not None and topo.shape and topo.nprocs != nprocs:
+        raise DistributionOptionsError(
+            f"distrib_options topology {machine.topology!r} is a "
+            f"{topo.nprocs}-processor machine but nprocs={nprocs} was "
+            "requested; make the two agree (or drop one)"
+        )
+    info = align_kw.pop("info", None)
+    ctx = plan_context(program, info=info, **align_kw)
+    ctx.put("machine", machine)
+    Pipeline().run(ctx, goal=("plan", "distribution"))
+    plan = ctx.get("plan")
+    plan.distribution = ctx.get("distribution")
     return plan

@@ -37,21 +37,21 @@ from ..solvers.maxflow import INF, FlowNetwork
 from .offset_static import OffsetMap
 from .position import Alignment
 
-Skeleton = Mapping[int, Alignment]
+Skeleton = Mapping[str, Alignment]
 
 
 @dataclass
 class ReplicationResult:
     """Per-axis labels plus the broadcast cost the cut certifies."""
 
-    labels: dict[tuple[int, int], str] = field(default_factory=dict)  # (pid, axis) -> R/N
+    labels: dict[tuple[str, int], str] = field(default_factory=dict)  # (Port.key, axis) -> R/N
     cut_value: dict[int, Fraction] = field(default_factory=dict)  # axis -> cost
 
-    def replicated_ports(self) -> set[tuple[int, int]]:
+    def replicated_ports(self) -> set[tuple[str, int]]:
         return {k for k, v in self.labels.items() if v == "R"}
 
     def is_replicated(self, p: Port, axis: int) -> bool:
-        return self.labels.get((id(p), axis)) == "R"
+        return self.labels.get((p.key, axis)) == "R"
 
 
 def read_only_arrays(program: Program) -> set[str]:
@@ -102,7 +102,7 @@ def _current_axis_spread(n: ADGNode, skeleton: Skeleton, axis: int) -> bool:
         return False
     assert isinstance(n.payload, SpreadPayload)
     out = n.outputs()[0]
-    out_align = skeleton[id(out)]
+    out_align = skeleton[out.key]
     try:
         return out_align.template_axis_of(n.payload.dim - 1) == axis
     except KeyError:
@@ -133,9 +133,9 @@ class ReplicationLabeler:
         m = weighted_moments(e.space, e.weight)
         return float(m.m0) * e.control_weight
 
-    def label_axis(self, axis: int) -> tuple[dict[int, str], Fraction, dict[int, str]]:
+    def label_axis(self, axis: int) -> tuple[dict[int, str], Fraction, dict[str, str]]:
         """Label every node for one axis; returns (node labels, cut value,
-        spread-split labels keyed by port id)."""
+        spread-split labels keyed by port key)."""
         g = FlowNetwork()
         S, T = ("__source__",), ("__sink__",)
         g.node(S)
@@ -143,7 +143,7 @@ class ReplicationLabeler:
 
         pinned_n: set[object] = set()
         pinned_r: set[object] = set()
-        split_ports: dict[int, str] = {}
+        split_ports: dict[str, str] = {}
 
         def vertex_of(p: Port) -> object:
             n = p.node
@@ -159,14 +159,14 @@ class ReplicationLabeler:
                 mobile = False
                 space_ok = True
                 for p in node.ports:
-                    sk = self.skeleton[id(p)]
+                    sk = self.skeleton[p.key]
                     if axis >= sk.template_rank:
                         space_ok = False
                         break
                     if sk.axes[axis].is_body:
                         space_ok = False
                         break
-                    off = self.offsets.get((id(p), axis))
+                    off = self.offsets.get((p.key, axis))
                     if off is not None and not off.is_constant:
                         mobile = True
                 if space_ok and mobile:
@@ -177,11 +177,11 @@ class ReplicationLabeler:
                 pinned_r.add((n.nid, "in"))
                 pinned_n.add((n.nid, "out"))
                 for p in n.ports:
-                    split_ports[id(p)] = "in" if not p.is_output else "out"
+                    split_ports[p.key] = "in" if not p.is_output else "out"
                 continue
             body_here = any(
-                axis < self.skeleton[id(p)].template_rank
-                and self.skeleton[id(p)].axes[axis].is_body
+                axis < self.skeleton[p.key].template_rank
+                and self.skeleton[p.key].axes[axis].is_body
                 for p in n.ports
             )
             if body_here:
@@ -234,11 +234,11 @@ class ReplicationLabeler:
             else:
                 labels[n.nid] = "N"
         # Split spreads: fixed labels.
-        spread_labels: dict[int, str] = {}
+        spread_labels: dict[str, str] = {}
         for n in self.adg.nodes:
             if _current_axis_spread(n, self.skeleton, axis):
                 for p in n.ports:
-                    spread_labels[id(p)] = "R" if not p.is_output else "N"
+                    spread_labels[p.key] = "R" if not p.is_output else "N"
         return labels, Fraction(value).limit_denominator(10**6), spread_labels
 
     def solve(self) -> ReplicationResult:
@@ -248,17 +248,17 @@ class ReplicationLabeler:
             result.cut_value[axis] = value
             for n in self.adg.nodes:
                 for p in n.ports:
-                    if id(p) in spread_labels:
-                        lab = spread_labels[id(p)]
+                    if p.key in spread_labels:
+                        lab = spread_labels[p.key]
                     else:
                         lab = node_labels.get(n.nid, "N")
-                    sk = self.skeleton[id(p)]
+                    sk = self.skeleton[p.key]
                     if (
                         axis < sk.template_rank
                         and sk.axes[axis].is_body
                     ):
                         lab = "N"  # rule 1, port-level
-                    result.labels[(id(p), axis)] = lab
+                    result.labels[(p.key, axis)] = lab
         return result
 
 

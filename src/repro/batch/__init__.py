@@ -5,11 +5,15 @@ many concurrently.  This subpackage provides:
 
 * :func:`plan_many` — fan a corpus out over a process pool (with a
   deterministic serial fallback) and collect structured results;
+* :func:`plan_sweep` — one corpus × many machines: aligned
+  :class:`~repro.passes.PlanContext` prefixes are computed once per
+  program, shipped across the pool, and re-priced per machine by the
+  pipeline's machine-dependent suffix;
 * :func:`plan_one` / :class:`PlanRequest` / :class:`PlanResult` — the
   per-program unit of work and its diagnostics record;
-* :class:`BatchReport` — aggregate throughput, failures, and the
-  cache-hit counters of the memoized hot kernels
-  (:mod:`repro.cachestats`).
+* :class:`BatchReport` — aggregate throughput, failures, per-pass
+  pipeline timings, and the cache-hit counters of the memoized hot
+  kernels (:mod:`repro.cachestats`).
 
 Quickstart::
 
@@ -20,7 +24,14 @@ Quickstart::
     print(report.render())
 """
 
-from .engine import BatchReport, PlanRequest, PlanResult, plan_many, plan_one
+from .engine import (
+    BatchReport,
+    PlanRequest,
+    PlanResult,
+    plan_many,
+    plan_one,
+    plan_sweep,
+)
 
 __all__ = [
     "BatchReport",
@@ -28,4 +39,5 @@ __all__ = [
     "PlanResult",
     "plan_many",
     "plan_one",
+    "plan_sweep",
 ]

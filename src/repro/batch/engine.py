@@ -13,10 +13,18 @@ with a deterministic serial fallback (``jobs=1``, ``serial=True``, or
 any failure to spawn the pool): results are identical and arrive in
 corpus order either way, because planning itself is deterministic and
 ``Executor.map`` preserves input order.  Work items cross the process
-boundary as source text, so nothing in the pipeline needs to pickle —
-the machine topology rides along the same way, as its
-:func:`~repro.topology.parse_topology` spec string, re-hydrated inside
-each worker.
+boundary as source text; the machine topology rides along the same
+way, as its :func:`~repro.topology.parse_topology` spec string,
+re-hydrated inside each worker.
+
+Every task runs the staged pass pipeline (:mod:`repro.passes`); the
+per-pass wall times travel back inside each :class:`PlanResult` and are
+folded into the :class:`BatchReport`.  :func:`plan_sweep` plans one
+corpus against *many* machines in two pool stages: stage one computes
+each program's machine-independent :class:`~repro.passes.PlanContext`
+prefix (alignments keyed by stable port uids, so the context pickles),
+stage two ships those prefixes back across the pool and runs only the
+machine-dependent suffix per (program, machine) pair.
 """
 
 from __future__ import annotations
@@ -81,6 +89,10 @@ class PlanResult:
     error: Optional[str] = None
     verified: Optional[bool] = None
     cache: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+    # Wall seconds per executed pipeline pass for this task (reused
+    # passes contribute nothing); the machine spec the task planned for.
+    passes: Mapping[str, float] = field(default_factory=dict)
+    machine: Optional[str] = None
 
 
 def plan_one(
@@ -98,26 +110,42 @@ def plan_one(
     worker re-parses it here.  A bad spec is a per-task diagnostic like
     any other failure.
     """
-    from ..align.pipeline import align_program
-    from ..distrib import build_profile, plan_distribution
+    from ..align.pipeline import plan_context
+    from ..passes import MachineSpec, Pipeline
     from ..topology import parse_topology
 
     before = cachestats.snapshot()
     t0 = time.perf_counter()
+    # Same label scheme as plan_sweep ("torus:4x4", "P8", ...), so the
+    # machine field of a BatchReport has one schema across both engines.
+    label = (
+        None
+        if nprocs is None and topology is None
+        else _machine_label(nprocs, topology)
+    )
     try:
         topo = None if topology is None else parse_topology(topology)
         program = parse(request.source, name=request.name)
-        plan = align_program(program, **dict(align_kw or {}))
+        ctx = plan_context(program, **dict(align_kw or {}))
+        goals = ["plan"]
+        if nprocs is not None:
+            ctx.put(
+                "machine",
+                MachineSpec.of(
+                    nprocs, topology=topology, **dict(distrib_options or {})
+                ),
+            )
+            goals.append("distribution")
+        Pipeline().run(ctx, goal=tuple(goals))
+        plan = ctx.get("plan")
         alignments = {
             arr: repr(al) for arr, al in sorted(plan.source_alignments().items())
         }
         directive = hops = moved = exact = None
         profile = None
         if nprocs is not None:
-            profile = build_profile(plan.adg, plan.alignments)
-            dplan = plan_distribution(
-                profile, nprocs, topology=topo, **dict(distrib_options or {})
-            )
+            profile = ctx.get("profile")
+            dplan = ctx.get("distribution")
             plan.distribution = dplan
             directive = dplan.directive()
             hops, moved = dplan.cost.hops, dplan.cost.moved
@@ -137,6 +165,8 @@ def plan_one(
             dist_exact=exact,
             verified=verified,
             cache=cachestats.delta(before),
+            passes=_pass_seconds(ctx.trace),
+            machine=label,
         )
     except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
         return PlanResult(
@@ -145,7 +175,17 @@ def plan_one(
             seconds=time.perf_counter() - t0,
             error=f"{type(exc).__name__}: {exc}",
             cache=cachestats.delta(before),
+            machine=label,
         )
+
+
+def _pass_seconds(trace) -> dict[str, float]:
+    """Executed-pass wall seconds from a context trace (reuses excluded)."""
+    out: dict[str, float] = {}
+    for ev in trace:
+        if ev.get("event") == "run":
+            out[ev["pass"]] = out.get(ev["pass"], 0.0) + ev.get("seconds", 0.0)
+    return out
 
 
 def _verify(plan, profile, topo=None) -> bool:
@@ -222,6 +262,15 @@ class BatchReport:
     def cache_hit_rates(self) -> dict[str, float]:
         return cachestats.hit_rate(self.cache_totals())
 
+    def pass_totals(self) -> dict[str, tuple[int, float]]:
+        """Per-pass ``(executions, wall seconds)`` across every task."""
+        totals: dict[str, tuple[int, float]] = {}
+        for r in self.results:
+            for name, secs in r.passes.items():
+                n, s = totals.get(name, (0, 0.0))
+                totals[name] = (n + 1, s + secs)
+        return totals
+
     def to_json(self) -> dict:
         return {
             "seconds": self.seconds,
@@ -237,6 +286,10 @@ class BatchReport:
                 name: {"hits": h, "misses": m}
                 for name, (h, m) in sorted(self.cache_totals().items())
             },
+            "passes": {
+                name: {"executions": n, "seconds": s}
+                for name, (n, s) in sorted(self.pass_totals().items())
+            },
             "results": [
                 {
                     "name": r.name,
@@ -249,6 +302,8 @@ class BatchReport:
                     "dist_exact": r.dist_exact,
                     "verified": r.verified,
                     "error": r.error,
+                    "machine": r.machine,
+                    "passes": dict(r.passes),
                 }
                 for r in self.results
             ],
@@ -273,6 +328,10 @@ class BatchReport:
             lines.append(
                 f"  cache {name:22s} hits={h:8d} misses={m:8d} "
                 f"rate={rates[name]:.1%}"
+            )
+        for name, (n, s) in sorted(self.pass_totals().items()):
+            lines.append(
+                f"  pass  {name:22s} runs={n:8d} seconds={s:9.3f}"
             )
         for r in self.failures:
             lines.append(f"  FAILED {r.name}: {r.error}")
@@ -347,3 +406,218 @@ def plan_many(
     return BatchReport(
         results, time.perf_counter() - t0, jobs, "process", topology=topology
     )
+
+
+# -- machine sweeps: prefix contexts shipped across the pool ------------------
+
+# One target machine: an nprocs count, a topology spec string, or both.
+Machine = Union[int, str, tuple]
+
+
+def _normalize_machine(m: Machine) -> tuple[Optional[int], Optional[str]]:
+    if isinstance(m, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError(f"cannot interpret {m!r} as a machine")
+    if isinstance(m, int):
+        return (m, None)
+    if isinstance(m, str):
+        return (None, m)
+    if isinstance(m, tuple) and len(m) == 2:
+        return m
+    raise TypeError(
+        f"machine {m!r} is neither an nprocs int, a topology spec string, "
+        "nor an (nprocs, spec) pair"
+    )
+
+
+def _machine_label(nprocs: Optional[int], spec: Optional[str]) -> str:
+    if spec is not None and nprocs is not None:
+        return f"{spec}/P{nprocs}"
+    return spec if spec is not None else f"P{nprocs}"
+
+
+def _prefix_worker(payload: tuple):
+    """Stage 1: run the machine-independent pipeline prefix for one
+    program; the returned PlanContext crosses the pool boundary."""
+    from ..align.pipeline import plan_context
+    from ..passes import Pipeline
+
+    request, align_kw = payload
+    try:
+        program = parse(request.source, name=request.name)
+        ctx = plan_context(program, **align_kw)
+        Pipeline().run(ctx, goal="profile")
+        return (request.name, ctx, None)
+    except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+        return (request.name, None, f"{type(exc).__name__}: {exc}")
+
+
+def _suffix_worker(payload: tuple) -> list[PlanResult]:
+    """Stage 2: fork a shipped prefix context once per machine of the
+    chunk and run only the machine-dependent suffix.
+
+    Machines arrive *chunked* so the (heavy) context crosses the pool
+    once per chunk, not once per machine — the suffix itself is a few
+    milliseconds of DP, so serialization would otherwise dominate.
+    """
+    from ..passes import MachineSpec, Pipeline
+    from ..topology import parse_topology
+
+    name, ctx, chunk, distrib_options, verify, include_prefix = payload
+    # The prefix trace traveled with the context; charge its pass
+    # timings to the chunk's first result — success or failure — so
+    # BatchReport.pass_totals() counts the stage-1 executions exactly
+    # once per program.
+    prefix_passes = _pass_seconds(ctx.trace) if include_prefix else {}
+    results: list[PlanResult] = []
+    for nprocs, spec in chunk:
+        label = _machine_label(nprocs, spec)
+        before = cachestats.snapshot()
+        t0 = time.perf_counter()
+        try:
+            sub = ctx.fork()
+            sub.put(
+                "machine",
+                MachineSpec.of(nprocs, topology=spec, **distrib_options),
+            )
+            Pipeline().run(sub, goal=("plan", "distribution"))
+            plan = sub.get("plan")
+            dplan = sub.get("distribution")
+            verified = None
+            if verify:
+                topo = None if spec is None else parse_topology(spec)
+                verified = _verify(plan, sub.get("profile"), topo)
+            passes = _pass_seconds(sub.trace)
+            for p, s in prefix_passes.items():
+                passes[p] = passes.get(p, 0.0) + s
+            prefix_passes = {}
+            results.append(
+                PlanResult(
+                    name=f"{name}@{label}",
+                    ok=True,
+                    seconds=time.perf_counter() - t0,
+                    total_cost=str(sub.get("total_cost")),
+                    alignments={
+                        arr: repr(al)
+                        for arr, al in sorted(plan.source_alignments().items())
+                    },
+                    distribution=dplan.directive(),
+                    dist_hops=dplan.cost.hops,
+                    dist_moved=dplan.cost.moved,
+                    dist_exact=dplan.exact,
+                    verified=verified,
+                    cache=cachestats.delta(before),
+                    passes=passes,
+                    machine=label,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+            passes = dict(prefix_passes)
+            prefix_passes = {}
+            results.append(
+                PlanResult(
+                    name=f"{name}@{label}",
+                    ok=False,
+                    seconds=time.perf_counter() - t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                    cache=cachestats.delta(before),
+                    passes=passes,
+                    machine=label,
+                )
+            )
+    return results
+
+
+def plan_sweep(
+    corpus: Iterable[Work],
+    machines: Iterable[Machine],
+    jobs: int | None = None,
+    serial: bool = False,
+    align_kw: Mapping | None = None,
+    distrib_options: Mapping | None = None,
+    verify: bool = False,
+) -> BatchReport:
+    """Plan every program against every machine, reusing aligned prefixes.
+
+    Two pool stages.  Stage one aligns and profiles each program once —
+    the machine-independent pipeline prefix — and ships the resulting
+    :class:`~repro.passes.PlanContext` back across the pool (possible
+    because every artifact is keyed by stable port uids, not object
+    identity).  Stage two fans each prefix out over the machine list;
+    every (program, machine) task forks the shipped context and runs
+    only the distribution suffix.  Results are program-major, machine
+    order preserved, named ``program@machine``.
+    """
+    requests = [PlanRequest.of(item, i) for i, item in enumerate(corpus)]
+    specs = [_normalize_machine(m) for m in machines]
+    if not specs:
+        raise ValueError("plan_sweep needs at least one machine")
+    dopts = dict(distrib_options or {})
+    prefix_payloads = [(req, dict(align_kw or {})) for req in requests]
+
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    jobs = max(1, min(jobs, len(requests) * len(specs) or 1))
+
+    def machine_chunks() -> list[list]:
+        # One chunk per program when programs alone fill the pool; more
+        # (down to per-machine) when they don't — chunking bounds how
+        # often each heavy context is re-pickled across the pool while
+        # keeping every worker busy.
+        n = max(1, min(len(specs), jobs // max(1, len(requests))))
+        size = -(-len(specs) // n)  # ceil
+        return [specs[i : i + size] for i in range(0, len(specs), size)]
+
+    def stage2_payloads(prefixes):
+        out = []
+        for name, ctx, err in prefixes:
+            if err is not None:
+                out.append((name, err))
+                continue
+            for i, chunk in enumerate(machine_chunks()):
+                out.append((name, ctx, chunk, dopts, verify, i == 0))
+        return out
+
+    def failed(name: str, err: str) -> list[PlanResult]:
+        return [
+            PlanResult(
+                name=f"{name}@{_machine_label(*machine)}",
+                ok=False,
+                seconds=0.0,
+                error=err,
+                machine=_machine_label(*machine),
+            )
+            for machine in specs
+        ]
+
+    def run_serial(reason: Optional[str] = None) -> BatchReport:
+        t0 = time.perf_counter()
+        prefixes = [_prefix_worker(p) for p in prefix_payloads]
+        results = [
+            r
+            for p in stage2_payloads(prefixes)
+            for r in (failed(*p) if len(p) == 2 else _suffix_worker(p))
+        ]
+        return BatchReport(
+            results,
+            time.perf_counter() - t0,
+            1,
+            "serial",
+            fallback_reason=reason,
+        )
+
+    t0 = time.perf_counter()
+    if serial or jobs == 1:
+        return run_serial()
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            prefixes = list(pool.map(_prefix_worker, prefix_payloads))
+            payloads = stage2_payloads(prefixes)
+            ready = [p for p in payloads if len(p) != 2]
+            mapped = iter(pool.map(_suffix_worker, ready))
+            results = [
+                r
+                for p in payloads
+                for r in (failed(*p) if len(p) == 2 else next(mapped))
+            ]
+    except (OSError, ValueError, RuntimeError) as exc:
+        return run_serial(reason=f"{type(exc).__name__}: {exc}")
+    return BatchReport(results, time.perf_counter() - t0, jobs, "process")

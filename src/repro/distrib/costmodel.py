@@ -273,12 +273,12 @@ def build_profile(adg: ADG, alignments: AlignmentMap) -> CommProfile:
     hi: list[int | None] = [None] * rank
     dedup: dict[tuple, MoveRecord] = {}
     for e in adg.edges:
+        src = alignments[e.tail.key]
+        dst = alignments[e.head.key]
         for env in e.space.points():
             shape = _shape_at(e.tail, env)
             n = int(np.prod(shape)) if shape else 1
             profile.elements += n
-            src = alignments[id(e.tail)]
-            dst = alignments[id(e.head)]
             src_pos = _cached_axis_positions(src, shape, env)
             dst_pos = _cached_axis_positions(dst, shape, env)
             # Window bounds (same rule as executor.coordinate_bounds,

@@ -26,7 +26,7 @@ import numpy as np
 from ..lang.ast import Program
 from ..machine.distribution import Distribution
 from ..topology import Topology
-from .costmodel import CommProfile, CostVector, build_profile
+from .costmodel import CommProfile, CostVector
 from .plan import DistributionPlan
 from .search import rank_plans
 
@@ -220,14 +220,16 @@ def plan_program_phases(
 
     Single-statement programs degenerate to one phase with no remaps —
     the same answer as :func:`repro.distrib.search.plan_distribution`.
-    """
-    from ..align.pipeline import align_program
 
-    phases = split_phases(program)
-    profiles = []
-    for sub in phases:
-        plan = align_program(sub, **(align_kw or {}))
-        profiles.append((sub.name, build_profile(plan.adg, plan.alignments)))
-    return plan_phase_sequence(
-        profiles, nprocs, k=k, topology=topology, **rank_kw
-    )
+    Thin wrapper over the staged pipeline (goal ``"phase_plan"``): the
+    per-phase profiles are a machine-independent artifact, so sweeping
+    machines over a forked context re-runs only the phase-chain DP.
+    """
+    from ..align.pipeline import plan_context
+    from ..passes import MachineSpec, Pipeline
+
+    ctx = plan_context(program, **(align_kw or {}))
+    ctx.put("machine", MachineSpec.of(nprocs, topology=topology))
+    ctx.put("phase_options", dict(k=k, **rank_kw))
+    Pipeline().run(ctx, goal="phase_plan")
+    return ctx.get("phase_plan")

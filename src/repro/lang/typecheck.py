@@ -132,6 +132,21 @@ class TypeInfo:
         except KeyError:
             raise TypeError_(f"expression {e!r} was not typechecked") from None
 
+    def __getstate__(self) -> dict:
+        # ``id(expr)`` keys are meaningless in another process.  Ship the
+        # expression objects themselves — pickle preserves their sharing
+        # with the program AST serialized in the same blob — and re-key
+        # against the re-hydrated objects on the other side.
+        return {
+            "program": self.program,
+            "pairs": [(e, self.shapes[id(e)]) for e in self._keepalive],
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.program = state["program"]
+        self._keepalive = [e for e, _ in state["pairs"]]
+        self.shapes = {id(e): shape for e, shape in state["pairs"]}
+
     def rank_of(self, e: A.Expr) -> int:
         return len(self.shape_of(e))
 

@@ -98,7 +98,7 @@ def coordinate_bounds(
         for env in e.space.points():
             shape = _shape_at(e.tail, env)
             for port in (e.tail, e.head):
-                align = alignments[id(port)]
+                align = alignments[port.key]
                 pos = _axis_positions(align, shape, env)
                 for t, (ax, arr) in enumerate(zip(align.axes, pos)):
                     if ax.is_replicated or arr.size == 0:
@@ -136,8 +136,8 @@ def measure_traffic(
         for env in e.space.points():
             shape = _shape_at(e.tail, env)
             mc = count_move(
-                alignments[id(e.tail)],
-                alignments[id(e.head)],
+                alignments[e.tail.key],
+                alignments[e.head.key],
                 shape,
                 env,
                 dist,

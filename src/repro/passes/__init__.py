@@ -1,0 +1,81 @@
+"""Staged planning pipeline: a pass manager over the paper's phases.
+
+The phases that used to be hardwired in ``align_program`` — ADG build,
+axis/stride labeling, the replication ↔ mobile-offset fixpoint,
+assembly, and the deferred distribution phase — are registered here as
+:class:`Pass` instances with explicit ``requires``/``provides``
+artifact contracts.  A :class:`Pipeline` resolves dependencies, runs
+only what a goal needs, traces and times every pass, and reuses
+artifacts whose inputs are unchanged, so machine sweeps re-execute only
+the machine-dependent suffix against a shared aligned prefix::
+
+    from repro.passes import MachineSpec, Pipeline, PlanContext, AlignOptions
+
+    ctx = PlanContext()
+    ctx.put("program", program)
+    ctx.put("align_options", AlignOptions.of())
+    pipe = Pipeline()
+    pipe.run(ctx, goal="profile")            # machine-independent prefix
+    for spec in ("torus:4x4", "ring:16", "hypercube:16"):
+        sub = ctx.fork()                     # shares the solved prefix
+        sub.put("machine", MachineSpec.of(topology=spec))
+        pipe.run(sub, goal="distribution")   # suffix only: prefix reused
+
+``repro.align.align_program`` and ``align_and_distribute`` remain the
+stable one-call wrappers over exactly this pipeline.
+"""
+
+from .align_passes import (
+    AlignOptions,
+    AssemblePass,
+    AxisStridePass,
+    BuildADGPass,
+    ReplicationFixpointPass,
+    TypecheckPass,
+)
+from .core import (
+    Artifact,
+    FixpointPass,
+    FunctionPass,
+    MissingArtifactError,
+    Pass,
+    PassStats,
+    Pipeline,
+    PipelineError,
+    PlanContext,
+    trace_table,
+)
+from .distrib_passes import (
+    CommProfilePass,
+    DistributePass,
+    MachineSpec,
+    PhaseProfilesPass,
+    PhaseRemapPass,
+)
+from .registry import alignment_passes, default_passes
+
+__all__ = [
+    "AlignOptions",
+    "Artifact",
+    "AssemblePass",
+    "AxisStridePass",
+    "BuildADGPass",
+    "CommProfilePass",
+    "DistributePass",
+    "FixpointPass",
+    "FunctionPass",
+    "MachineSpec",
+    "MissingArtifactError",
+    "Pass",
+    "PassStats",
+    "PhaseProfilesPass",
+    "PhaseRemapPass",
+    "Pipeline",
+    "PipelineError",
+    "PlanContext",
+    "ReplicationFixpointPass",
+    "TypecheckPass",
+    "alignment_passes",
+    "default_passes",
+    "trace_table",
+]

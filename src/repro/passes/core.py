@@ -1,0 +1,564 @@
+"""The pass-manager core: passes, contexts, and the pipeline driver.
+
+The paper's phases (ADG build → axis/stride → replication ↔ mobile
+offsets → assembly → distribution → phase remaps) used to be hardwired
+inside one monolithic driver.  Here each phase is a :class:`Pass` — a
+named unit declaring the artifact keys it ``requires`` and ``provides``
+— and a :class:`Pipeline` resolves the dependency order, runs only the
+passes a goal needs, instruments each run (wall time, cache-counter
+deltas, structured trace events), and *reuses* artifacts whose inputs
+have not changed.
+
+Reuse is what makes machine sweeps cheap: a :class:`PlanContext` holds
+typed artifacts versioned by a store-time clock and fingerprinted by
+content where the value supports it.  ``ctx.fork()`` shares the solved
+artifacts; re-running the pipeline on the fork after replacing only the
+machine artifact re-executes just the machine-dependent suffix — every
+machine-independent pass is skipped with a ``reuse`` trace event, and
+the shared prefix objects (ADG, alignments, profile) keep their
+identity across the sweep.
+
+All per-port artifacts are keyed by the stable ``Port.key`` (never
+``id(port)``), so a context prefix pickles across process boundaries —
+:mod:`repro.batch` ships exactly these prefixes to its worker pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from .. import cachestats
+
+
+class PipelineError(Exception):
+    """Structural pipeline faults: duplicate providers, cycles."""
+
+
+class MissingArtifactError(KeyError):
+    """A required artifact is absent from the context.
+
+    Carries enough context to be actionable: the missing key, who asked
+    for it, which pass could provide it (if any), and what *is*
+    available.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        requester: str | None = None,
+        provider: str | None = None,
+        available: Iterable[str] = (),
+        goal: bool = False,
+    ) -> None:
+        self.key = key
+        self.requester = requester
+        self.provider = provider
+        self.available = sorted(available)
+        have = ", ".join(self.available) or "none"
+        if goal:
+            # A goal must be *producible* by a registered pass; context
+            # contents are irrelevant (selection happens before any run).
+            msg = (
+                f"goal {key!r} is not a producible artifact of this "
+                f"pipeline; producible goals: {have}"
+            )
+        else:
+            who = f" (required by pass {requester!r})" if requester else ""
+            if provider:
+                hint = (
+                    f"; pass {provider!r} provides it — add it to the "
+                    "pipeline or run it first"
+                )
+            else:
+                hint = (
+                    "; no registered pass provides it — supply it as a "
+                    "pipeline input"
+                )
+            msg = f"missing artifact {key!r}{who}{hint} (available: {have})"
+        super().__init__(msg)
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message readable
+        return self.args[0]
+
+
+class _NotContentAddressable(Exception):
+    pass
+
+
+_FINGERPRINT_BUDGET = 10_000  # recursion item cap: stay cheap on big values
+
+
+def _stable_repr(value: Any, budget: list[int]) -> str:
+    """A canonical string for values whose *content* fully determines it.
+
+    Only structurally transparent values qualify: primitives, containers
+    of such values, and frozen dataclasses (``MachineSpec``,
+    ``AlignOptions``, ``LIV``, ...).  Everything else — in particular
+    objects with summary-style reprs like ``<ADG main: 4 nodes...>``,
+    which do not distinguish distinct contents — raises
+    :class:`_NotContentAddressable` so the fingerprint falls back to
+    store-version identity, which never spuriously matches.
+    """
+    budget[0] -= 1
+    if budget[0] < 0:
+        raise _NotContentAddressable
+    if value is None or isinstance(value, (bool, int, float, str, Fraction)):
+        return repr(value)
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_stable_repr(v, budget) for v in value)
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, (set, frozenset)):
+        inner = ",".join(sorted(_stable_repr(v, budget) for v in value))
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        items = sorted(
+            (_stable_repr(k, budget), _stable_repr(v, budget))
+            for k, v in value.items()
+        )
+        return "dict(" + ",".join(f"{k}:{v}" for k, v in items) + ")"
+    if (
+        dataclasses.is_dataclass(value)
+        and not isinstance(value, type)
+        and type(value).__dataclass_params__.frozen
+    ):
+        fields = ",".join(
+            f"{f.name}={_stable_repr(getattr(value, f.name), budget)}"
+            for f in dataclasses.fields(value)
+        )
+        return f"{type(value).__qualname__}({fields})"
+    raise _NotContentAddressable
+
+
+def _fingerprint(value: Any, version: int) -> str:
+    """A short content fingerprint for content-addressable values; an
+    identity fingerprint (tied to the store version) for everything else."""
+    try:
+        r = _stable_repr(value, [_FINGERPRINT_BUDGET])
+    except Exception:  # noqa: BLE001 - fingerprinting must never fail
+        return f"v{version}"
+    digest = hashlib.sha1(f"{type(value).__name__}|{r}".encode()).hexdigest()
+    return digest[:12]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One stored artifact: value plus versioning metadata."""
+
+    key: str
+    value: Any
+    version: int
+    fingerprint: str
+
+    @property
+    def content_addressed(self) -> bool:
+        return not self.fingerprint.startswith("v")
+
+
+class PlanContext:
+    """Typed artifact store threaded through the pipeline.
+
+    Artifacts are immutable records: ``put`` always creates a new
+    :class:`Artifact` with a fresh version from the context clock.  The
+    trace is a list of structured per-pass event dicts, and the ledger
+    records the input signature each pass last ran under — the basis of
+    the pipeline's reuse decision.
+    """
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, Artifact] = {}
+        self._clock = 0
+        # pass name -> {required key -> (version, fingerprint) at last run}
+        self._ledger: dict[str, dict[str, tuple[int, str]]] = {}
+        self.trace: list[dict] = []
+        self._current_event: dict | None = None
+
+    # -- artifact access ---------------------------------------------------
+
+    def put(self, key: str, value: Any) -> Artifact:
+        self._clock += 1
+        art = Artifact(key, value, self._clock, _fingerprint(value, self._clock))
+        self._artifacts[key] = art
+        return art
+
+    def get(self, key: str) -> Any:
+        try:
+            return self._artifacts[key].value
+        except KeyError:
+            raise MissingArtifactError(
+                key, available=self._artifacts
+            ) from None
+
+    def artifact(self, key: str) -> Artifact:
+        if key not in self._artifacts:
+            raise MissingArtifactError(key, available=self._artifacts)
+        return self._artifacts[key]
+
+    def has(self, key: str) -> bool:
+        return key in self._artifacts
+
+    def keys(self) -> list[str]:
+        return sorted(self._artifacts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._artifacts
+
+    # -- trace annotation --------------------------------------------------
+
+    def annotate(self, **extras: Any) -> None:
+        """Attach extra fields (e.g. fixpoint rounds) to the trace event
+        of the pass currently running; no-op outside a pass."""
+        if self._current_event is not None:
+            self._current_event.update(extras)
+
+    # -- prefix reuse ------------------------------------------------------
+
+    def fork(self) -> "PlanContext":
+        """A child context sharing every solved artifact.
+
+        The child sees the parent's artifacts and run ledger (so
+        unchanged passes are reused with their object identity intact)
+        but has its own trace and an independent future: ``put`` on the
+        child never mutates the parent.
+        """
+        child = PlanContext()
+        child._artifacts = dict(self._artifacts)
+        child._clock = self._clock
+        child._ledger = {name: dict(sig) for name, sig in self._ledger.items()}
+        return child
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_current_event"] = None  # never ship a live event handle
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:
+        return f"<PlanContext {len(self._artifacts)} artifacts: {', '.join(self.keys())}>"
+
+
+class Pass:
+    """One named pipeline stage.
+
+    Subclasses set ``name``, ``requires`` and ``provides`` (artifact key
+    tuples) and implement :meth:`run`, reading inputs with ``ctx.get``
+    and storing every declared output with ``ctx.put``.  A pass must be
+    deterministic in its declared inputs — that is what makes the
+    pipeline's reuse decision sound.
+    """
+
+    name: str = "pass"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+
+    def run(self, ctx: PlanContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name}: "
+            f"{', '.join(self.requires) or '∅'} -> {', '.join(self.provides)}>"
+        )
+
+
+class FunctionPass(Pass):
+    """A pass wrapping a plain callable ``fn(ctx)`` — the compact way to
+    register a stage (used heavily by the tests)."""
+
+    def __init__(
+        self,
+        name: str,
+        requires: Sequence[str],
+        provides: Sequence[str],
+        fn: Callable[[PlanContext], None],
+    ) -> None:
+        self.name = name
+        self.requires = tuple(requires)
+        self.provides = tuple(provides)
+        self._fn = fn
+
+    def run(self, ctx: PlanContext) -> None:
+        self._fn(ctx)
+
+
+class FixpointPass(Pass):
+    """A pass that iterates a step function to quiescence.
+
+    The replication ↔ mobile-offset loop of Section 6 is the motivating
+    instance: :meth:`step` advances one round and reports convergence;
+    the driver loop caps rounds at :meth:`max_rounds` (the paper's
+    quiescence loops are all iteration-capped, so hitting the cap is a
+    valid, terminating outcome, recorded as ``converged=False`` in the
+    trace).
+    """
+
+    def max_rounds(self, ctx: PlanContext) -> int:
+        return 8
+
+    def init(self, ctx: PlanContext) -> Any:
+        return None
+
+    def step(
+        self, ctx: PlanContext, state: Any, rounds: int
+    ) -> tuple[Any, bool]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finish(self, ctx: PlanContext, state: Any, rounds: int) -> None:
+        """Store the converged artifacts; default expects step to have."""
+
+    def run(self, ctx: PlanContext) -> None:
+        state = self.init(ctx)
+        cap = max(1, self.max_rounds(ctx))
+        rounds = 0
+        converged = False
+        while rounds < cap and not converged:
+            rounds += 1
+            state, converged = self.step(ctx, state, rounds)
+        self.finish(ctx, state, rounds)
+        ctx.annotate(rounds=rounds, converged=converged)
+
+
+@dataclass
+class PassStats:
+    """Aggregate per-pass accounting across every context a pipeline ran."""
+
+    runs: int = 0
+    reuses: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {"runs": self.runs, "reuses": self.reuses, "seconds": self.seconds}
+
+
+class Pipeline:
+    """Dependency-resolving, instrumented driver over registered passes.
+
+    Construction validates the pass graph (unique providers, no cycles)
+    and fixes a topological execution order.  :meth:`run` executes the
+    subset of passes needed for ``goal`` against a context, skipping any
+    pass whose outputs are already present and whose recorded input
+    signature still matches — version *or* content fingerprint — so
+    forked contexts re-execute only what actually changed.
+    """
+
+    def __init__(self, passes: Sequence[Pass] | None = None) -> None:
+        if passes is None:
+            from .registry import default_passes
+
+            passes = default_passes()
+        self.passes: list[Pass] = self._order(list(passes))
+        self.stats: dict[str, PassStats] = {
+            p.name: PassStats() for p in self.passes
+        }
+
+    # -- graph validation / ordering ---------------------------------------
+
+    @staticmethod
+    def _order(passes: list[Pass]) -> list[Pass]:
+        provider: dict[str, Pass] = {}
+        for p in passes:
+            for key in p.provides:
+                if key in provider:
+                    raise PipelineError(
+                        f"artifact {key!r} provided by both "
+                        f"{provider[key].name!r} and {p.name!r}"
+                    )
+                provider[key] = p
+        # Kahn's algorithm, stable in registration order.
+        index = {id(p): i for i, p in enumerate(passes)}
+        deps: dict[int, set[int]] = {
+            id(p): {
+                id(provider[r]) for r in p.requires if r in provider
+            } - {id(p)}
+            for p in passes
+        }
+        ordered: list[Pass] = []
+        remaining = list(passes)
+        done: set[int] = set()
+        while remaining:
+            ready = [p for p in remaining if deps[id(p)] <= done]
+            if not ready:
+                cyc = ", ".join(p.name for p in remaining)
+                raise PipelineError(f"pass dependency cycle among: {cyc}")
+            ready.sort(key=lambda p: index[id(p)])
+            nxt = ready[0]
+            ordered.append(nxt)
+            done.add(id(nxt))
+            remaining.remove(nxt)
+        return ordered
+
+    @property
+    def provider_of(self) -> dict[str, Pass]:
+        return {key: p for p in self.passes for key in p.provides}
+
+    # -- goal selection ----------------------------------------------------
+
+    def select(self, goal: str | Sequence[str] | None = None) -> list[Pass]:
+        """The passes needed (transitively) to produce ``goal``.
+
+        ``None`` selects every registered pass.  Unknown goals raise a
+        :class:`MissingArtifactError` naming what *is* producible.
+        """
+        if goal is None:
+            return list(self.passes)
+        goals = [goal] if isinstance(goal, str) else list(goal)
+        provider = self.provider_of
+        for g in goals:
+            if g not in provider:
+                raise MissingArtifactError(g, available=provider, goal=True)
+        needed: set[str] = set(goals)
+        chosen: list[Pass] = []
+        for p in reversed(self.passes):
+            if needed & set(p.provides):
+                chosen.append(p)
+                needed |= set(p.requires)
+        return list(reversed(chosen))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self, ctx: PlanContext, goal: str | Sequence[str] | None = None
+    ) -> PlanContext:
+        provider = self.provider_of
+        for p in self.select(goal):
+            for req in p.requires:
+                if not ctx.has(req):
+                    prov = provider.get(req)
+                    raise MissingArtifactError(
+                        req,
+                        requester=p.name,
+                        provider=prov.name if prov else None,
+                        available=ctx.keys(),
+                    )
+            signature = {
+                req: (ctx.artifact(req).version, ctx.artifact(req).fingerprint)
+                for req in p.requires
+            }
+            if self._reusable(ctx, p, signature):
+                if p.name not in ctx._ledger:
+                    # Externally supplied outputs are honored, but pinned
+                    # to the inputs current *now*: if e.g. the program is
+                    # later replaced, a supplied TypeInfo goes stale and
+                    # the pass re-runs instead of serving stale artifacts.
+                    ctx._ledger[p.name] = signature
+                self.stats[p.name].reuses += 1
+                ctx.trace.append(
+                    {
+                        "pass": p.name,
+                        "event": "reuse",
+                        "seconds": 0.0,
+                        "provides": {
+                            key: ctx.artifact(key).fingerprint
+                            for key in p.provides
+                        },
+                    }
+                )
+                continue
+            event: dict = {
+                "pass": p.name,
+                "event": "run",
+                "requires": {req: sig[1] for req, sig in signature.items()},
+            }
+            ctx._current_event = event
+            before = cachestats.snapshot()
+            t0 = time.perf_counter()
+            try:
+                p.run(ctx)
+            finally:
+                event["seconds"] = time.perf_counter() - t0
+                event["cache"] = cachestats.delta(before)
+                ctx._current_event = None
+            missing = [key for key in p.provides if not ctx.has(key)]
+            if missing:
+                raise PipelineError(
+                    f"pass {p.name!r} declared but did not provide: "
+                    f"{', '.join(missing)}"
+                )
+            event["provides"] = {
+                key: ctx.artifact(key).fingerprint for key in p.provides
+            }
+            ctx.trace.append(event)
+            ctx._ledger[p.name] = signature
+            st = self.stats[p.name]
+            st.runs += 1
+            st.seconds += event["seconds"]
+        return ctx
+
+    @staticmethod
+    def _reusable(
+        ctx: PlanContext, p: Pass, signature: Mapping[str, tuple[int, str]]
+    ) -> bool:
+        if not all(ctx.has(key) for key in p.provides):
+            return False
+        last = ctx._ledger.get(p.name)
+        if last is None:
+            # Outputs present but the pass never ran in this lineage:
+            # they were supplied externally (e.g. a precomputed TypeInfo).
+            # Honored — and the caller pins the current input signature
+            # so a later input change invalidates them.
+            return True
+        if set(last) != set(signature):
+            return False
+        for req, (version, fp) in signature.items():
+            lv, lfp = last[req]
+            if version == lv:
+                continue
+            if not fp.startswith("v") and fp == lfp:
+                continue  # re-stored but content-identical
+            return False
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def explain(self, goal: str | Sequence[str] | None = None) -> str:
+        """Render the pass graph the given goal would execute."""
+        chosen = self.select(goal)
+        label = goal if goal is None or isinstance(goal, str) else ", ".join(goal)
+        lines = ["planning pipeline" + (f" (goal: {label})" if label else "")]
+        for i, p in enumerate(chosen):
+            kind = "fixpoint" if isinstance(p, FixpointPass) else "pass"
+            req = ", ".join(p.requires) or "-"
+            prov = ", ".join(p.provides)
+            lines.append(f"  {i + 1}. {p.name:<22s} [{kind}]  {req}  ->  {prov}")
+        return "\n".join(lines)
+
+    def stats_table(self) -> str:
+        lines = ["pass                     runs  reuses   seconds"]
+        for p in self.passes:
+            st = self.stats[p.name]
+            lines.append(
+                f"{p.name:<22s} {st.runs:6d}  {st.reuses:6d}  {st.seconds:8.3f}"
+            )
+        return "\n".join(lines)
+
+
+def trace_table(trace: Sequence[Mapping], indent: str = "") -> str:
+    """Human-readable rendering of a context's structured trace."""
+    lines = [
+        f"{indent}{'pass':<22s} {'event':<7s} {'seconds':>9s}  detail"
+    ]
+    for ev in trace:
+        detail = []
+        if "rounds" in ev:
+            detail.append(
+                f"rounds={ev['rounds']}"
+                + ("" if ev.get("converged", True) else " (capped)")
+            )
+        cache = ev.get("cache") or {}
+        hits = sum(h for h, _ in cache.values())
+        misses = sum(m for _, m in cache.values())
+        if hits or misses:
+            detail.append(f"cache {hits}h/{misses}m")
+        if ev.get("provides"):
+            detail.append("-> " + ", ".join(ev["provides"]))
+        lines.append(
+            f"{indent}{ev['pass']:<22s} {ev['event']:<7s} "
+            f"{ev.get('seconds', 0.0):9.4f}  {' '.join(detail)}"
+        )
+    return "\n".join(lines)

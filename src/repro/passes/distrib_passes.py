@@ -1,0 +1,159 @@
+"""The machine-dependent pipeline suffix: profiling, distribution, remaps.
+
+:class:`CommProfilePass` is the last machine-*independent* stage — the
+compiled :class:`~repro.distrib.costmodel.CommProfile` holds template
+coordinates, not processor assignments, so one profile prices any
+machine.  Everything downstream depends on the ``machine`` artifact
+(:class:`MachineSpec`); replacing only that artifact on a forked
+context re-executes exactly these passes, which is what makes topology
+and processor-count sweeps cheap.
+
+The machine crosses process boundaries as a *spec string* (the
+:mod:`repro.topology` convention), so a :class:`MachineSpec` — like
+every other artifact on the context — pickles cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..distrib.costmodel import build_profile
+from ..distrib.search import plan_distribution
+from .core import Pass, PlanContext
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The target machine as one frozen artifact.
+
+    ``nprocs`` may be ``None`` when a finite topology implies it;
+    ``topology`` is either a spec string (``"torus:4x4"``, ... — the
+    picklable, content-fingerprintable form every cross-process caller
+    uses) or a live :class:`~repro.topology.Topology` object (honored
+    as-is, so custom implementations outside the spec registry keep
+    working in-process; ``None`` is the paper's unbounded L1 grid).
+    ``options`` forwards planner keywords (``block_sizes``,
+    ``exhaustive_limit``, ``seed``, ``restarts``) as a sorted item
+    tuple.
+    """
+
+    nprocs: Optional[int] = None
+    topology: Any = None  # None | spec str | Topology object
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def of(
+        cls,
+        nprocs: Optional[int] = None,
+        topology: Any = None,
+        **options: Any,
+    ) -> "MachineSpec":
+        return cls(nprocs, topology, tuple(sorted(options.items())))
+
+    def topology_object(self):
+        if self.topology is None or not isinstance(self.topology, str):
+            return self.topology  # None, or a live Topology: as-is
+        from ..topology import parse_topology
+
+        return parse_topology(self.topology)
+
+    def resolved_nprocs(self, topo=None) -> int:
+        """The processor count, taking it from a finite topology if the
+        spec leaves it implicit."""
+        topo = topo if topo is not None else self.topology_object()
+        if self.nprocs is not None:
+            return self.nprocs
+        if topo is not None and topo.shape:
+            return topo.nprocs
+        raise ValueError(
+            f"machine {self} fixes no processor count: give nprocs or a "
+            "finite topology"
+        )
+
+    @property
+    def options_dict(self) -> dict[str, Any]:
+        return dict(self.options)
+
+
+class CommProfilePass(Pass):
+    name = "comm-profile"
+    requires = ("adg", "alignments")
+    provides = ("profile",)
+
+    def run(self, ctx: PlanContext) -> None:
+        ctx.put("profile", build_profile(ctx.get("adg"), ctx.get("alignments")))
+
+
+class DistributePass(Pass):
+    """The program-level distribution search (the paper's deferred phase
+    2): grid factorization × per-axis HPF scheme, exact per-axis DP with
+    a local-search fallback, priced on the machine's interconnect."""
+
+    name = "distribute"
+    requires = ("profile", "machine")
+    provides = ("distribution",)
+
+    def run(self, ctx: PlanContext) -> None:
+        machine: MachineSpec = ctx.get("machine")
+        topo = machine.topology_object()
+        ctx.put(
+            "distribution",
+            plan_distribution(
+                ctx.get("profile"),
+                machine.resolved_nprocs(topo),
+                topology=topo,
+                **machine.options_dict,
+            ),
+        )
+
+
+class PhaseProfilesPass(Pass):
+    """Split the program into phases (one per top-level statement), align
+    and profile each through its own pipeline prefix — machine-independent,
+    so a machine sweep re-prices phases without re-aligning them."""
+
+    name = "phase-profiles"
+    requires = ("program", "align_options")
+    provides = ("phase_profiles",)
+
+    def run(self, ctx: PlanContext) -> None:
+        from ..distrib.remap import split_phases
+        from .core import Pipeline
+        from .registry import alignment_passes
+
+        inner = Pipeline(alignment_passes() + [CommProfilePass()])
+        profiles = []
+        for sub in split_phases(ctx.get("program")):
+            sub_ctx = PlanContext()
+            sub_ctx.put("program", sub)
+            sub_ctx.put("align_options", ctx.get("align_options"))
+            inner.run(sub_ctx, goal="profile")
+            profiles.append((sub.name, sub_ctx.get("profile")))
+        ctx.put("phase_profiles", profiles)
+
+
+class PhaseRemapPass(Pass):
+    """The phase-chain DP with costed remap edges (distrib.remap)."""
+
+    name = "phase-remap"
+    requires = ("phase_profiles", "machine", "phase_options")
+    provides = ("phase_plan",)
+
+    def run(self, ctx: PlanContext) -> None:
+        from ..distrib.remap import plan_phase_sequence
+
+        machine: MachineSpec = ctx.get("machine")
+        topo = machine.topology_object()
+        opts = dict(ctx.get("phase_options"))
+        k = opts.pop("k", 4)
+        ctx.put(
+            "phase_plan",
+            plan_phase_sequence(
+                ctx.get("phase_profiles"),
+                machine.resolved_nprocs(topo),
+                k=k,
+                topology=topo,
+                **opts,
+            ),
+        )

@@ -1,0 +1,46 @@
+"""The standard pass registry.
+
+``default_passes()`` is the full compilation pipeline — the alignment
+prefix (machine-independent), the profile bridge, and the
+machine-dependent distribution/remap suffix.  Consumers that need a
+subset ask the :class:`~repro.passes.core.Pipeline` for a goal
+("plan", "profile", "distribution", "phase_plan") and get exactly the
+passes that goal transitively requires.
+"""
+
+from __future__ import annotations
+
+from .align_passes import (
+    AssemblePass,
+    AxisStridePass,
+    BuildADGPass,
+    ReplicationFixpointPass,
+    TypecheckPass,
+)
+from .core import Pass
+from .distrib_passes import (
+    CommProfilePass,
+    DistributePass,
+    PhaseProfilesPass,
+    PhaseRemapPass,
+)
+
+def alignment_passes() -> list[Pass]:
+    """The paper's alignment phases (all machine-independent)."""
+    return [
+        TypecheckPass(),
+        BuildADGPass(),
+        AxisStridePass(),
+        ReplicationFixpointPass(),
+        AssemblePass(),
+    ]
+
+
+def default_passes() -> list[Pass]:
+    """The complete registered pipeline, in dependency order."""
+    return alignment_passes() + [
+        CommProfilePass(),
+        DistributePass(),
+        PhaseProfilesPass(),
+        PhaseRemapPass(),
+    ]

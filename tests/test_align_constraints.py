@@ -119,7 +119,7 @@ class TestNodeRelations:
             programs.figure4(), lambda n: n.kind is NodeKind.SPREAD
         )
         out = n.outputs()[0]
-        tau_star = skel[id(out)].template_axis_of(n.payload.dim - 1)
+        tau_star = skel[out.key].template_axis_of(n.payload.dim - 1)
         related_axes = {r.axis for r in rels}
         assert tau_star not in related_axes
         assert related_axes == {0}
@@ -130,7 +130,7 @@ class TestNodeRelations:
             lambda n: n.kind is NodeKind.REDUCE,
         )
         inp = n.inputs()[0]
-        tau_red = skel[id(inp)].template_axis_of(1)
+        tau_red = skel[inp.key].template_axis_of(1)
         assert tau_red not in {r.axis for r in rels}
 
     def test_full_reduce_no_relations(self):

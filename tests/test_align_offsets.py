@@ -38,7 +38,7 @@ class TestStaticOffsets:
         offs = {}
         for p in adg.ports():
             if p.node.kind.name == "SOURCE":
-                offs[p.node.label] = res.offsets[(id(p), 0)]
+                offs[p.node.label] = res.offsets[(p.key, 0)]
         assert offs["source(B)"] - offs["source(A)"] == AffineForm(-1)
 
     def test_stencil_cost_positive(self):
@@ -53,8 +53,8 @@ class TestStaticOffsets:
         for n in adg.nodes:
             for rel in node_offset_relations(n, dict(skel)):
                 if isinstance(rel, EqualShift):
-                    p_off = res.offsets[(id(rel.p), rel.axis)]
-                    q_off = res.offsets[(id(rel.q), rel.axis)]
+                    p_off = res.offsets[(rel.p.key, rel.axis)]
+                    q_off = res.offsets[(rel.q.key, rel.axis)]
                     assert q_off - p_off == rel.shift, (n.label, rel.axis)
 
     def test_integral_offsets(self):
@@ -72,8 +72,8 @@ class TestMobileOffsets:
         adg, skel, res = solve(programs.figure1(), algorithm="unrolling")
         for p in adg.ports():
             if "merge(V" in p.uid:
-                row = res.offsets[(id(p), 0)]
-                col = res.offsets[(id(p), 1)]
+                row = res.offsets[(p.key, 0)]
+                col = res.offsets[(p.key, 1)]
                 assert row == AffineForm.variable(k)  # V row tracks k
                 assert col == AffineForm(1, {k: -1})  # Example 4: i - k + 1
 
@@ -114,7 +114,7 @@ class TestMobileOffsets:
         for p in adg.ports():
             if p.node.kind.name in ("SOURCE", "MERGE", "SINK"):
                 for tau in range(adg.template_rank):
-                    assert res.offsets[(id(p), tau)].is_constant
+                    assert res.offsets[(p.key, tau)].is_constant
 
     def test_static_costs_more(self):
         _, _, mobile = solve(programs.figure1(n=16))

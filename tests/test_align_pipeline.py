@@ -49,7 +49,7 @@ class TestPipeline:
     def test_alignment_map_covers_all_ports(self):
         plan = align_program(programs.figure4())
         for p in plan.adg.ports():
-            al = plan.alignments[id(p)]
+            al = plan.alignments[p.key]
             assert al.template_rank == plan.adg.template_rank
 
     def test_breakdown_sums_to_total(self):

@@ -46,15 +46,15 @@ class TestFigure4:
             if n.kind is NodeKind.SPREAD:
                 inp = n.inputs()[0]
                 out = n.outputs()[0]
-                assert rep.labels[(id(inp), 1)] == "R"
-                assert rep.labels[(id(out), 1)] == "N"
+                assert rep.labels[(inp.key, 1)] == "R"
+                assert rep.labels[(out.key, 1)] == "N"
 
     def test_t_cycle_replicated(self):
         rep = label_replication(self.adg, self.skel, self.program)
         for n in self.adg.nodes:
             if n.label.startswith("merge(t") or n.label == "cos":
                 for p in n.ports:
-                    assert rep.labels[(id(p), 1)] == "R", n.label
+                    assert rep.labels[(p.key, 1)] == "R", n.label
 
     def test_cut_value_is_entry_broadcast(self):
         rep = label_replication(self.adg, self.skel, self.program)
@@ -64,10 +64,10 @@ class TestFigure4:
     def test_body_axes_always_n(self):
         rep = label_replication(self.adg, self.skel, self.program)
         for p in self.adg.ports():
-            sk = self.skel[id(p)]
+            sk = self.skel[p.key]
             for tau in range(sk.template_rank):
                 if sk.axes[tau].is_body:
-                    assert rep.labels[(id(p), tau)] == "N"
+                    assert rep.labels[(p.key, tau)] == "N"
 
     def test_minimal_labels_only_forced(self):
         rep = label_replication(
@@ -75,7 +75,7 @@ class TestFigure4:
         )
         r_ports = {key for key, v in rep.labels.items() if v == "R"}
         spread_inputs = {
-            (id(n.inputs()[0]), 1)
+            (n.inputs()[0].key, 1)
             for n in self.adg.nodes
             if n.kind is NodeKind.SPREAD
         }
@@ -108,7 +108,7 @@ class TestEndToEnd:
         found = False
         for p in plan.adg.ports():
             if "merge(V" in p.uid:
-                assert plan.alignments[id(p)].axes[0].is_replicated
+                assert plan.alignments[p.key].axes[0].is_replicated
                 found = True
         assert found
 
@@ -140,7 +140,7 @@ class TestEndToEnd:
             if _current_axis_spread(n, skel, axis):
                 continue  # handled per-port
             body = any(
-                axis < skel[id(p)].template_rank and skel[id(p)].axes[axis].is_body
+                axis < skel[p.key].template_rank and skel[p.key].axes[axis].is_body
                 for p in n.ports
             )
             if body or n.kind.name in ("SOURCE", "SINK"):

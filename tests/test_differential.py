@@ -27,7 +27,7 @@ from __future__ import annotations
 import pytest
 
 from repro.align import align_program
-from repro.distrib import build_profile, plan_distribution
+from repro.distrib import plan_distribution
 from repro.lang.generate import (
     FAMILIES,
     generate_corpus,
@@ -51,12 +51,20 @@ def _ids(corpus):
 
 @pytest.fixture(scope="module")
 def planned():
-    """Plan every corpus scenario once; share across the harness."""
+    """Plan every corpus scenario once; share across the harness.
+
+    Runs through the staged pass pipeline (goal ``"profile"``) — the
+    same path the wrappers, CLI and batch engine use — so every
+    equality below also certifies the pipeline's artifacts.
+    """
+    from repro.align.pipeline import plan_context
+    from repro.passes import Pipeline
+
+    pipeline = Pipeline()
     out = {}
     for sc in CORPUS:
-        plan = align_program(sc.parse())
-        profile = build_profile(plan.adg, plan.alignments)
-        out[sc.name] = (plan, profile)
+        ctx = pipeline.run(plan_context(sc.parse()), goal="profile")
+        out[sc.name] = (ctx.get("plan"), ctx.get("profile"))
     return out
 
 

@@ -44,8 +44,8 @@ def test_random_program_pipeline(seed):
     for node in plan.adg.nodes:
         for rel in node_offset_relations(node, dict(skel)):
             if isinstance(rel, EqualShift):
-                p_off = plan.alignments[id(rel.p)].axes[rel.axis].offset
-                q_off = plan.alignments[id(rel.q)].axes[rel.axis].offset
+                p_off = plan.alignments[rel.p.key].axes[rel.axis].offset
+                q_off = plan.alignments[rel.q.key].axes[rel.axis].offset
                 assert q_off - p_off == rel.shift, (seed, node.label)
     # Machine validation (identity distribution == equation 1), when no
     # edge is general communication.  Program-forced replication (spread

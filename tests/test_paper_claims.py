@@ -63,8 +63,8 @@ class TestExample4Figure1:
         res = unrolling(adg, skel)
         for p in adg.ports():
             if "merge(V" in p.uid:
-                assert res.offsets[(id(p), 0)] == AffineForm.variable(k)
-                assert res.offsets[(id(p), 1)] == AffineForm(1, {k: -1})
+                assert res.offsets[(p.key, 0)] == AffineForm.variable(k)
+                assert res.offsets[(p.key, 1)] == AffineForm(1, {k: -1})
 
     def test_mobile_vs_static_factor(self):
         static = align_program(programs.figure1(), replication=False, mobile=False)
@@ -134,8 +134,8 @@ class TestTheorem1:
             total = Fraction(0)
             for e in adg.edges:
                 for axis in range(adg.template_rank):
-                    lu = labels.get((id(e.tail), axis), "N")
-                    lv = labels.get((id(e.head), axis), "N")
+                    lu = labels.get((e.tail.key, axis), "N")
+                    lv = labels.get((e.head.key, axis), "N")
                     if lu == "N" and lv == "R":
                         total += weighted_moments(e.space, e.weight).m0
                         break
