@@ -1,6 +1,6 @@
 """P1 — The staged planning pipeline: fixpoint behaviour + prefix reuse.
 
-Two families of results:
+Three families of results:
 
 * **E14 / Section 6** (kept from the monolith era): iterating
   replication labeling and mobile offsets to quiescence — the
@@ -16,6 +16,15 @@ Two families of results:
   identical plans; the sweep must be faster *end to end* even though
   the monolith is measured second (i.e. with every memo cache warm).
 
+* **Vectorized front pricing** (the hot kernel under the per-axis DP):
+  pricing a whole candidate enumeration through
+  :func:`repro.distrib.evaluate_front` versus the scalar per-record
+  oracle, candidate for candidate.  The gate is hard: the NumPy path
+  must be at least ``VECTOR_SPEEDUP_FLOOR`` (10×) faster in aggregate,
+  every cost row must be integer-identical, and
+  ``plan_distribution(vectorize=True/False)`` must return byte-identical
+  plans.  Results land in ``BENCH_vectorized.json`` at the repo root.
+
 Writable as a JSON artifact for CI trend tracking::
 
     python benchmarks/bench_pipeline.py --json out/bench_pipeline.json
@@ -29,6 +38,7 @@ import time
 
 from repro.align import align_and_distribute, align_program
 from repro.align.pipeline import plan_context
+from repro.distrib.enumerate import candidate_spaces
 from repro.lang import programs
 from repro.lang.generate import sample_topology
 from repro.machine import format_table
@@ -167,6 +177,174 @@ def test_prefix_reuse_beats_monolith(benchmark, report):
     assert stats["total"]["speedup"] > 1.0
 
 
+# -- Vectorized front pricing: the >=10x gate ---------------------------------
+
+VECTOR_SPEEDUP_FLOOR = 10.0
+VECTOR_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_vectorized.json"
+)
+
+VECTOR_PROGRAMS = {
+    "figure1": (lambda: programs.figure1(n=16), {}),
+    "stencil": (
+        lambda: programs.stencil_sweep(n=48, iters=3),
+        dict(replication=False),
+    ),
+    "figure4": (lambda: programs.figure4(nt=10, nk=8), {}),
+}
+VECTOR_NPROCS = 16
+# A denser block-size menu than the planner default: front pricing is
+# exercised at the candidate counts a thorough enumeration produces.
+VECTOR_BLOCK_SIZES = (2, 3, 4, 5, 6, 8, 12)
+
+
+def _enumeration_front(profile, nprocs, topology):
+    """Every candidate distribution the planner's enumeration yields."""
+    import itertools
+
+    from repro.machine import Distribution
+
+    dists = []
+    for _, cands in candidate_spaces(
+        profile, nprocs, block_sizes=VECTOR_BLOCK_SIZES, topology=topology
+    ):
+        for combo in itertools.product(*cands):
+            dists.append(
+                Distribution(tuple(c.to_axis_distribution() for c in combo))
+            )
+    return dists
+
+
+def run_vectorized_bench(repeats: int = 3) -> dict:
+    """Scalar-vs-vectorized pricing of whole enumeration fronts.
+
+    Each (program, topology) pair prices its full candidate enumeration
+    both ways; timings are best-of-``repeats``, and the vectorized
+    timing is kept honest by clearing the profile's compiled tensors
+    before every repeat (compilation is inside the measured window).
+    """
+    from repro.align import align_program
+    from repro.distrib import build_profile, evaluate_front, plan_distribution
+
+    machines = [
+        sample_topology(i, VECTOR_NPROCS, kind=kind)
+        for i, kind in enumerate(TOPOLOGY_KINDS)
+    ]
+    out: dict = {
+        "nprocs": VECTOR_NPROCS,
+        "machines": machines,
+        "speedup_floor": VECTOR_SPEEDUP_FLOOR,
+        "entries": [],
+    }
+    total_scalar = total_vector = 0.0
+    candidates = 0
+    for name, (make, kw) in VECTOR_PROGRAMS.items():
+        plan = align_program(make(), **kw)
+        profile = build_profile(plan.adg, plan.alignments)
+        for spec in machines:
+            topo = parse_topology(spec)
+            dists = _enumeration_front(profile, topo.nprocs, topo)
+            if not dists:
+                continue
+
+            scalar_best = vector_best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                scalar = [profile.evaluate(d, topo) for d in dists]
+                scalar_best = min(scalar_best, time.perf_counter() - t0)
+
+                profile._front_tensors = None  # cold: compile inside window
+                t0 = time.perf_counter()
+                matrix = evaluate_front(profile, dists, topo)
+                vector_best = min(vector_best, time.perf_counter() - t0)
+
+            # Integer-identical, candidate for candidate.
+            for i, cv in enumerate(scalar):
+                got = tuple(int(x) for x in matrix[i])
+                assert got == (cv.hops, cv.moved, cv.broadcast), (
+                    name, spec, i, got, cv,
+                )
+            # Byte-identical plans from both planner paths.
+            fast = plan_distribution(
+                profile, topo.nprocs, topology=topo, vectorize=True
+            )
+            slow = plan_distribution(
+                profile, topo.nprocs, topology=topo, vectorize=False
+            )
+            assert fast == slow, (name, spec)
+
+            total_scalar += scalar_best
+            total_vector += vector_best
+            candidates += len(dists)
+            out["entries"].append(
+                {
+                    "program": name,
+                    "machine": spec,
+                    "candidates": len(dists),
+                    "scalar_seconds": scalar_best,
+                    "vectorized_seconds": vector_best,
+                    "speedup": (
+                        scalar_best / vector_best if vector_best else 0.0
+                    ),
+                    "plans_identical": True,
+                    "plan": fast.directive(),
+                }
+            )
+    speedup = total_scalar / total_vector if total_vector else 0.0
+    out["total"] = {
+        "candidates": candidates,
+        "scalar_seconds": total_scalar,
+        "vectorized_seconds": total_vector,
+        "speedup": speedup,
+    }
+    # The tentpole gate: at least 10x in aggregate, exact numbers only.
+    assert speedup >= VECTOR_SPEEDUP_FLOOR, (
+        f"vectorized pricing speedup {speedup:.1f}x is below the "
+        f"{VECTOR_SPEEDUP_FLOOR:.0f}x floor"
+    )
+    with open(VECTOR_JSON, "w") as f:
+        json.dump(out, f, indent=2)
+    return out
+
+
+def test_vectorized_pricing_speedup_gate(benchmark, report):
+    stats = benchmark.pedantic(run_vectorized_bench, rounds=1, iterations=1)
+    rows = [
+        (
+            e["program"],
+            e["machine"],
+            str(e["candidates"]),
+            f"{e['scalar_seconds'] * 1e3:.2f}ms",
+            f"{e['vectorized_seconds'] * 1e3:.2f}ms",
+            f"{e['speedup']:.1f}x",
+        )
+        for e in stats["entries"]
+    ]
+    t = stats["total"]
+    rows.append(
+        (
+            "TOTAL",
+            "",
+            str(t["candidates"]),
+            f"{t['scalar_seconds'] * 1e3:.2f}ms",
+            f"{t['vectorized_seconds'] * 1e3:.2f}ms",
+            f"{t['speedup']:.1f}x",
+        )
+    )
+    report.table(
+        format_table(
+            ["program", "machine", "cands", "scalar", "vectorized", "speedup"],
+            rows,
+            title=(
+                "Vectorized front pricing vs the scalar oracle "
+                f"(gate: >={VECTOR_SPEEDUP_FLOOR:.0f}x, identical plans)"
+            ),
+        )
+    )
+    assert t["speedup"] >= VECTOR_SPEEDUP_FLOOR
+    assert os.path.exists(VECTOR_JSON)
+
+
 # -- E14 / Section 6: the replication <-> offset fixpoint (kept) -------------
 
 
@@ -227,6 +405,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--json", metavar="OUT", help="write results as JSON")
     args = ap.parse_args(argv)
     stats = run_sweep()
+    stats["vectorized"] = run_vectorized_bench()
     print(json.dumps(stats, indent=2))
     if args.json:
         os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)

@@ -6,7 +6,7 @@ Usage::
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
                          [--distribute P] [--phases] [--topology SPEC]
-                         [--trace-passes]
+                         [--trace-passes] [--no-vectorize]
     python -m repro --batch <dir|count> [--jobs J] [--serial]
                          [--batch-seed S] [--batch-json OUT.json]
                          [--distribute P] [--topology SPEC]
@@ -91,12 +91,16 @@ def _run_batch(args, align_kw: dict) -> int:
             print("--batch: corpus count must be >= 1", file=sys.stderr)
             return 1
         corpus = generate_corpus(count, seed=args.batch_seed)
+    # Only a set flag reaches the planner: the default machine spec must
+    # stay byte-identical (specs feed artifact fingerprints).
+    distrib_options = {"vectorize": False} if args.no_vectorize else None
     report = plan_many(
         corpus,
         nprocs=args.distribute,
         jobs=args.jobs,
         serial=args.serial,
         align_kw=align_kw,
+        distrib_options=distrib_options,
         verify=True,
         topology=args.topology,
     )
@@ -160,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         "--phases",
         action="store_true",
         help="with --distribute: plan per program phase with costed remaps",
+    )
+    ap.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="price candidates through the scalar per-record oracle "
+        "instead of the NumPy front-pricing kernels (same plans, slower; "
+        "for differential debugging)",
     )
     ap.add_argument(
         "--trace-passes",
@@ -290,8 +301,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     goals = ["plan"]
     if args.distribute is not None:
+        machine_kw = {"vectorize": False} if args.no_vectorize else {}
         ctx.put(
-            "machine", MachineSpec.of(args.distribute, topology=args.topology)
+            "machine",
+            MachineSpec.of(args.distribute, topology=args.topology, **machine_kw),
         )
         goals.append("distribution")
         if args.phases:
@@ -328,7 +341,9 @@ def main(argv: list[str] | None = None) -> int:
         profile = ctx.get("profile")
         dplan = ctx.get("distribution")
         print(dplan.render())
-        naive = naive_costs(profile, args.distribute, topology)
+        naive = naive_costs(
+            profile, args.distribute, topology, vectorize=not args.no_vectorize
+        )
         for name, cost in sorted(naive.items()):
             print(f"  naive {name:>9s}: hops={cost.hops} moved={cost.moved}")
         traffic = measure_traffic(

@@ -44,7 +44,8 @@ from .replication import ReplicationResult
 #: Planner keywords that belong in ``distrib_options`` — used to catch
 #: machine options smuggled into the alignment keywords (and vice versa).
 _DISTRIB_ONLY_KEYS = frozenset(
-    {"topology", "block_sizes", "exhaustive_limit", "seed", "restarts"}
+    {"topology", "block_sizes", "exhaustive_limit", "seed", "restarts",
+     "vectorize"}
 )
 #: Alignment keywords that belong in ``align_kw`` — the other direction.
 _ALIGN_ONLY_KEYS = frozenset(

@@ -93,6 +93,10 @@ class PlanResult:
     # passes contribute nothing); the machine spec the task planned for.
     passes: Mapping[str, float] = field(default_factory=dict)
     machine: Optional[str] = None
+    # Counter names that went backwards during the task (cachestats.reset
+    # fired mid-measurement): their cache entries are clamped to the
+    # post-reset counts, and the report surfaces the names explicitly.
+    cache_resets: tuple[str, ...] = ()
 
 
 def plan_one(
@@ -153,6 +157,8 @@ def plan_one(
         verified = None
         if verify:
             verified = _verify(plan, profile, topo)
+        resets: set[str] = set()
+        cache = cachestats.delta(before, resets=resets)
         return PlanResult(
             name=request.name,
             ok=True,
@@ -164,18 +170,22 @@ def plan_one(
             dist_moved=moved,
             dist_exact=exact,
             verified=verified,
-            cache=cachestats.delta(before),
+            cache=cache,
             passes=_pass_seconds(ctx.trace),
             machine=label,
+            cache_resets=tuple(sorted(resets)),
         )
     except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+        resets = set()
+        cache = cachestats.delta(before, resets=resets)
         return PlanResult(
             name=request.name,
             ok=False,
             seconds=time.perf_counter() - t0,
             error=f"{type(exc).__name__}: {exc}",
-            cache=cachestats.delta(before),
+            cache=cache,
             machine=label,
+            cache_resets=tuple(sorted(resets)),
         )
 
 
@@ -262,6 +272,13 @@ class BatchReport:
     def cache_hit_rates(self) -> dict[str, float]:
         return cachestats.hit_rate(self.cache_totals())
 
+    def cache_reset_names(self) -> tuple[str, ...]:
+        """Counters observed going backwards in any task (clamped deltas)."""
+        names: set[str] = set()
+        for r in self.results:
+            names.update(r.cache_resets)
+        return tuple(sorted(names))
+
     def pass_totals(self) -> dict[str, tuple[int, float]]:
         """Per-pass ``(executions, wall seconds)`` across every task."""
         totals: dict[str, tuple[int, float]] = {}
@@ -286,6 +303,7 @@ class BatchReport:
                 name: {"hits": h, "misses": m}
                 for name, (h, m) in sorted(self.cache_totals().items())
             },
+            "cache_resets": list(self.cache_reset_names()),
             "passes": {
                 name: {"executions": n, "seconds": s}
                 for name, (n, s) in sorted(self.pass_totals().items())
@@ -328,6 +346,12 @@ class BatchReport:
             lines.append(
                 f"  cache {name:22s} hits={h:8d} misses={m:8d} "
                 f"rate={rates[name]:.1%}"
+            )
+        resets = self.cache_reset_names()
+        if resets:
+            lines.append(
+                "  WARNING: counters reset mid-task (deltas clamped): "
+                + ", ".join(resets)
             )
         for name, (n, s) in sorted(self.pass_totals().items()):
             lines.append(
@@ -490,6 +514,8 @@ def _suffix_worker(payload: tuple) -> list[PlanResult]:
             for p, s in prefix_passes.items():
                 passes[p] = passes.get(p, 0.0) + s
             prefix_passes = {}
+            resets: set[str] = set()
+            cache = cachestats.delta(before, resets=resets)
             results.append(
                 PlanResult(
                     name=f"{name}@{label}",
@@ -505,23 +531,27 @@ def _suffix_worker(payload: tuple) -> list[PlanResult]:
                     dist_moved=dplan.cost.moved,
                     dist_exact=dplan.exact,
                     verified=verified,
-                    cache=cachestats.delta(before),
+                    cache=cache,
                     passes=passes,
                     machine=label,
+                    cache_resets=tuple(sorted(resets)),
                 )
             )
         except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
             passes = dict(prefix_passes)
             prefix_passes = {}
+            resets = set()
+            cache = cachestats.delta(before, resets=resets)
             results.append(
                 PlanResult(
                     name=f"{name}@{label}",
                     ok=False,
                     seconds=time.perf_counter() - t0,
                     error=f"{type(exc).__name__}: {exc}",
-                    cache=cachestats.delta(before),
+                    cache=cache,
                     passes=passes,
                     machine=label,
+                    cache_resets=tuple(sorted(resets)),
                 )
             )
     return results

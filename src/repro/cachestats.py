@@ -45,13 +45,34 @@ def snapshot() -> dict[str, tuple[int, int]]:
 def delta(
     before: Mapping[str, tuple[int, int]],
     after: Mapping[str, tuple[int, int]] | None = None,
+    resets: set[str] | None = None,
 ) -> dict[str, tuple[int, int]]:
-    """Counter increments between two snapshots (``after`` defaults to now)."""
+    """Counter increments between two snapshots (``after`` defaults to now).
+
+    Iterates the *union* of the two snapshots' names, so a counter that
+    was alive in ``before`` but absent from ``after`` (a registry wiped
+    by :func:`reset` in another thread, or a stale snapshot from a
+    worker process) still shows up rather than vanishing silently.
+
+    A counter that went *backwards* — ``after`` below ``before`` on
+    either field — means :func:`reset` fired between the snapshots.  The
+    honest increment is unknowable, so the contribution is clamped to
+    the counts accumulated *since* the reset (the raw ``after`` values,
+    never negative), and the name is added to ``resets`` when the caller
+    passes a set to collect them.
+    """
     after = snapshot() if after is None else after
     out: dict[str, tuple[int, int]] = {}
-    for name, (h, m) in after.items():
+    for name in before.keys() | after.keys():
+        h, m = after.get(name, (0, 0))
         h0, m0 = before.get(name, (0, 0))
-        if h != h0 or m != m0:
+        if h < h0 or m < m0:
+            # Counter went backwards: a reset happened in between.
+            if resets is not None:
+                resets.add(name)
+            if h or m:
+                out[name] = (h, m)
+        elif h != h0 or m != m0:
             out[name] = (h - h0, m - m0)
     return out
 

@@ -16,6 +16,9 @@ Modules:
   candidates, naive uniform baselines;
 * :mod:`repro.distrib.search` — exhaustive per-axis DP (reusing
   :mod:`repro.solvers.dp`) with a greedy/local-search fallback;
+* :mod:`repro.distrib.vectorized` — NumPy batch pricing of whole
+  candidate fronts (the fast path under the DP; the scalar evaluator
+  stays as the differential oracle, ``vectorize=False``);
 * :mod:`repro.distrib.remap` — redistribution planning between program
   phases with costed remap edges;
 * :mod:`repro.distrib.plan` — the :class:`DistributionPlan` output
@@ -54,6 +57,7 @@ from .remap import (
     union_window,
 )
 from .search import EXHAUSTIVE_LIMIT, plan_distribution, rank_plans
+from .vectorized import axis_front_hops, compile_front, evaluate_front, front_costs
 
 __all__ = [
     "CommProfile",
@@ -84,4 +88,8 @@ __all__ = [
     "EXHAUSTIVE_LIMIT",
     "plan_distribution",
     "rank_plans",
+    "axis_front_hops",
+    "compile_front",
+    "evaluate_front",
+    "front_costs",
 ]

@@ -78,18 +78,26 @@ def _axis_key(align: Alignment, env) -> tuple:
 
 def _cached_axis_positions(
     align: Alignment, shape: tuple[int, ...], env
-) -> list[np.ndarray]:
+) -> tuple[np.ndarray, ...]:
     """Memoized :func:`repro.machine.comm._axis_positions`.
 
     Keyed on the *evaluated* per-axis numbers (matching the ``int()``
     casts inside ``_axis_positions``), not on the LIV environment, so
     static offsets hit once per distinct geometry instead of once per
     iteration point.
+
+    Entries are immutable by construction: a **tuple** of **read-only**
+    arrays, frozen on the one store path — so no consumer can swap an
+    element of a cached container or write through a cached array, and
+    an entry re-stored after a :class:`BoundedCache` eviction goes
+    through the same freeze and can never hand out writable aliases.
+    The mutation-detection tests write through every returned array and
+    expect numpy to refuse.
     """
     key = (shape, _axis_key(align, env))
     pos = _POSITIONS.lookup(key)
     if pos is MISS:
-        arrays = _axis_positions(align, shape, env)
+        arrays = tuple(_axis_positions(align, shape, env))
         for a in arrays:
             a.setflags(write=False)  # shared cache entries: enforce read-only
         pos = _POSITIONS.store(key, arrays)
@@ -110,11 +118,23 @@ class CostVector:
     broadcast: int = 0
 
     def __add__(self, other: "CostVector") -> "CostVector":
+        # NotImplemented (not an AttributeError mid-add) for foreign
+        # operands, so mixed-type adds fail with a proper TypeError and
+        # other types get a chance at their own __radd__.
+        if not isinstance(other, CostVector):
+            return NotImplemented
         return CostVector(
             self.hops + other.hops,
             self.moved + other.moved,
             self.broadcast + other.broadcast,
         )
+
+    def __radd__(self, other) -> "CostVector":
+        # sum(costs) starts from int 0; absorb that identity so cost
+        # lists aggregate without a start-value dance.
+        if other == 0:
+            return self
+        return NotImplemented
 
 
 @dataclass
@@ -157,6 +177,10 @@ class CommProfile:
     # again per local-search restart.  Keyed on the candidate's scheme
     # parameters; excluded from equality/repr.
     _hops_cache: dict = field(default_factory=dict, repr=False, compare=False)
+    # Padded coordinate tensors for the vectorized front-pricing path
+    # (:mod:`repro.distrib.vectorized`), compiled lazily once per
+    # profile; excluded from equality/repr like the hop memo.
+    _front_tensors: object = field(default=None, repr=False, compare=False)
 
     # -- evaluation --------------------------------------------------------
 
@@ -191,6 +215,24 @@ class CommProfile:
                 * r.count
             )
         return CostVector(hops, moved, self.broadcast)
+
+    def evaluate_front(
+        self,
+        dists: Sequence[Distribution],
+        topology: Topology | None = None,
+    ) -> np.ndarray:
+        """Exact cost of a whole candidate front, as one matrix.
+
+        Vectorized batch counterpart of :meth:`evaluate`: an int64
+        ``(len(dists), 3)`` array with columns ``(hops, moved,
+        broadcast)``, row ``i`` equal to ``self.evaluate(dists[i],
+        topology)`` — priced in a handful of broadcasted array ops over
+        the profile's padded coordinate tensors
+        (:mod:`repro.distrib.vectorized`).
+        """
+        from .vectorized import evaluate_front
+
+        return evaluate_front(self, dists, topology)
 
     def axis_hops(
         self,

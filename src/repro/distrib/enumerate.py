@@ -146,9 +146,21 @@ def naive_costs(
     profile: CommProfile,
     nprocs: int,
     topology: Topology | None = None,
+    vectorize: bool = True,
 ) -> dict[str, CostVector]:
-    """Modeled cost of each naive baseline (priced on ``topology``)."""
-    return {
-        name: profile.evaluate(dist, topology)
-        for name, dist in naive_distributions(profile, nprocs).items()
-    }
+    """Modeled cost of each naive baseline (priced on ``topology``).
+
+    The baselines are priced as one vectorized front
+    (:func:`~repro.distrib.vectorized.evaluate_front`);
+    ``vectorize=False`` prices each through the scalar oracle instead.
+    """
+    naive = naive_distributions(profile, nprocs)
+    if not vectorize:
+        return {
+            name: profile.evaluate(dist, topology)
+            for name, dist in naive.items()
+        }
+    from .vectorized import front_costs
+
+    costs = front_costs(profile, list(naive.values()), topology)
+    return dict(zip(naive.keys(), costs))

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from ..cachestats import _cell
 from ..solvers.dp import DiscreteLabelingProblem
 from ..topology import AxisMetric, Topology
 from ..topology.models import most_balanced
@@ -39,6 +40,9 @@ from .plan import AxisPlan, DistributionPlan
 
 EXHAUSTIVE_LIMIT = 20_000
 _ANCHOR = "$cost"
+# Shared with repro.distrib.vectorized: [vectorized, scalar] candidate
+# pricings — the counter's hit rate is the fraction that took the fast path.
+_FRONT_STATS = _cell("distrib.front_price")
 
 
 def _metrics_for_grid(
@@ -51,7 +55,31 @@ def _axis_hop_table(
     profile: CommProfile,
     cands: Sequence[Sequence[AxisPlan]],
     metrics: Sequence[AxisMetric] | None = None,
+    vectorize: bool = True,
 ) -> list[list[int]]:
+    """Per-axis candidate hop costs for one grid's whole front.
+
+    The default path prices each axis's entire candidate list in one
+    vectorized call (:func:`~repro.distrib.vectorized.axis_front_hops`);
+    ``vectorize=False`` keeps the per-candidate pure-Python path — the
+    differential oracle, and the ``--no-vectorize`` debugging fallback.
+    """
+    if vectorize:
+        from .vectorized import axis_front_hops
+
+        return [
+            [
+                int(h)
+                for h in axis_front_hops(
+                    profile,
+                    t,
+                    clist,
+                    None if metrics is None else metrics[t],
+                )
+            ]
+            for t, clist in enumerate(cands)
+        ]
+    _FRONT_STATS[1] += sum(len(clist) for clist in cands)
     return [
         [
             profile.axis_hops(
@@ -69,6 +97,7 @@ def _solve_axes_dp(
     profile: CommProfile,
     cands: Sequence[Sequence[AxisPlan]],
     metrics: Sequence[AxisMetric] | None = None,
+    vectorize: bool = True,
 ) -> tuple[list[AxisPlan], int]:
     """Exact per-axis choice by DP on a star-shaped labeling problem.
 
@@ -82,7 +111,7 @@ def _solve_axes_dp(
     inter-axis costs are ever added as real edges.)
     """
     prob = DiscreteLabelingProblem()
-    hops = _axis_hop_table(profile, cands, metrics)
+    hops = _axis_hop_table(profile, cands, metrics, vectorize)
     for t, clist in enumerate(cands):
         prob.add_node(t, list(range(len(clist))))
         for ci in range(len(clist)):
@@ -130,6 +159,7 @@ def plan_distribution(
     seed: int = 0,
     restarts: int = 8,
     topology: Topology | None = None,
+    vectorize: bool = True,
 ) -> DistributionPlan:
     """Choose the distribution minimizing modeled hops for ``nprocs``.
 
@@ -142,7 +172,10 @@ def plan_distribution(
     cross-product space actually covered (reported in ``searched``) is
     usually far larger.  ``topology`` prices hops on the machine's
     interconnect and rules out unrealizable grid shapes; the default is
-    the paper's open L1 grid.
+    the paper's open L1 grid.  ``vectorize`` selects the batched NumPy
+    front pricing (the default; plans are identical either way —
+    ``False`` is the pure-Python differential oracle, exposed on the
+    CLI as ``--no-vectorize``).
     """
     spaces = list(candidate_spaces(profile, nprocs, block_sizes, topology))
     if not spaces:
@@ -157,7 +190,7 @@ def plan_distribution(
         best: DistributionPlan | None = None
         for grid, cands in spaces:
             metrics = _metrics_for_grid(topology, grid)
-            axes, _ = _solve_axes_dp(profile, cands, metrics)
+            axes, _ = _solve_axes_dp(profile, cands, metrics, vectorize)
             plan = _finish(
                 profile, axes, exact=True, searched=covered, topology=topology
             )
@@ -165,7 +198,9 @@ def plan_distribution(
                 best = plan
         assert best is not None
         return best
-    return _local_search(profile, nprocs, block_sizes, seed, restarts, topology)
+    return _local_search(
+        profile, nprocs, block_sizes, seed, restarts, topology, vectorize
+    )
 
 
 def rank_plans(
@@ -177,6 +212,7 @@ def rank_plans(
     seed: int = 0,
     window: Sequence[tuple[int, int]] | None = None,
     topology: Topology | None = None,
+    vectorize: bool = True,
 ) -> list[DistributionPlan]:
     """The ``k`` best distributions, one per grid shape, best first.
 
@@ -211,7 +247,7 @@ def rank_plans(
             for (lo, _), ext, p in zip(win, extents, grid)
         ]
         metrics = _metrics_for_grid(topology, grid)
-        axes, _ = _solve_axes_dp(profile, cands, metrics)
+        axes, _ = _solve_axes_dp(profile, cands, metrics, vectorize)
         plans.append(
             _finish(
                 profile,
@@ -233,22 +269,19 @@ def _greedy_axes(
     grid: tuple[int, ...],
     block_sizes: Sequence[int],
     topology: Topology | None = None,
+    vectorize: bool = True,
 ) -> tuple[list[AxisPlan], int]:
     """Per-axis argmin of hop cost (the per-grid optimum)."""
     extents = window_extents(profile)
     metrics = _metrics_for_grid(topology, grid)
+    cand_lists = [
+        axis_candidates(lo, ext, p, block_sizes)
+        for (lo, _), ext, p in zip(profile.window, extents, grid)
+    ]
+    hops = _axis_hop_table(profile, cand_lists, metrics, vectorize)
     axes: list[AxisPlan] = []
     total = profile.fixed.hops
-    for t, ((lo, _), ext, p) in enumerate(zip(profile.window, extents, grid)):
-        cands = axis_candidates(lo, ext, p, block_sizes)
-        costs = [
-            profile.axis_hops(
-                t,
-                c.to_axis_distribution(),
-                None if metrics is None else metrics[t],
-            )
-            for c in cands
-        ]
+    for cands, costs in zip(cand_lists, hops):
         best = min(range(len(cands)), key=costs.__getitem__)
         axes.append(cands[best])
         total += costs[best]
@@ -289,6 +322,7 @@ def _local_search(
     seed: int,
     restarts: int,
     topology: Topology | None = None,
+    vectorize: bool = True,
 ) -> DistributionPlan:
     def supported(g: tuple[int, ...]) -> bool:
         return topology is None or topology.supports_grid(g)
@@ -309,7 +343,7 @@ def _local_search(
             grid = tuple(g)
         if not supported(grid):
             continue
-        axes, hops = _greedy_axes(profile, grid, block_sizes, topology)
+        axes, hops = _greedy_axes(profile, grid, block_sizes, topology, vectorize)
         searched += 1
         improved = True
         while improved:
@@ -317,7 +351,9 @@ def _local_search(
             for ng in _neighbor_grids(grid):
                 if not supported(ng):
                     continue
-                n_axes, n_hops = _greedy_axes(profile, ng, block_sizes, topology)
+                n_axes, n_hops = _greedy_axes(
+                    profile, ng, block_sizes, topology, vectorize
+                )
                 searched += 1
                 if n_hops < hops:
                     grid, axes, hops = ng, n_axes, n_hops
@@ -330,7 +366,9 @@ def _local_search(
         # supported factorization (plan_distribution guarantees one).
         for grid in grid_factorizations(nprocs, rank):
             if supported(grid):
-                best_axes, _ = _greedy_axes(profile, grid, block_sizes, topology)
+                best_axes, _ = _greedy_axes(
+                    profile, grid, block_sizes, topology, vectorize
+                )
                 searched += 1
                 break
     assert best_axes is not None

@@ -152,6 +152,83 @@ def test_every_family_on_every_topology(family, spec, planned):
     assert dplan.cost.moved == measured.elements_moved, (family, spec)
 
 
+def _candidate_front(profile, nprocs, topology, cap=96):
+    """Full candidate distributions from the planner's own enumeration:
+    every per-axis scheme crossed per grid shape, capped for test time."""
+    import itertools
+
+    from repro.distrib.enumerate import candidate_spaces
+
+    dists = []
+    for _, cands in candidate_spaces(profile, nprocs, topology=topology):
+        for combo in itertools.product(*cands):
+            dists.append(
+                Distribution(tuple(c.to_axis_distribution() for c in combo))
+            )
+            if len(dists) >= cap:
+                return dists
+    return dists
+
+
+@pytest.mark.parametrize("spec", TOPOLOGIES, ids=TOPOLOGIES)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_front_pricing_matches_scalar_and_simulator(family, spec, planned):
+    """The vectorized front == the scalar oracle == the simulator.
+
+    For every scenario family on every topology family, the whole
+    candidate enumeration is priced once through
+    :func:`~repro.distrib.vectorized.evaluate_front`; every row must
+    equal the scalar ``profile.evaluate`` exactly, and sampled rows are
+    additionally replayed on the machine simulator."""
+    from repro.distrib import evaluate_front
+
+    scenario = next(sc for sc in CORPUS if sc.family == family)
+    plan, profile = planned[scenario.name]
+    topo = parse_topology(spec)
+    dists = _candidate_front(profile, topo.nprocs, topo)
+    assert dists, (family, spec)
+    matrix = evaluate_front(profile, dists, topo)
+    assert matrix.shape == (len(dists), 3)
+    for i, dist in enumerate(dists):
+        cv = profile.evaluate(dist, topo)
+        assert tuple(int(x) for x in matrix[i]) == (
+            cv.hops,
+            cv.moved,
+            cv.broadcast,
+        ), (family, spec, i)
+    for i in {0, len(dists) // 2, len(dists) - 1}:
+        rep = measure_traffic(
+            plan.adg, plan.alignments, dists[i], topology=topo
+        )
+        assert int(matrix[i][0]) == rep.hop_cost, (family, spec, i)
+        assert int(matrix[i][1]) == rep.elements_moved, (family, spec, i)
+        assert int(matrix[i][2]) == rep.broadcast_elements, (family, spec, i)
+
+
+@pytest.mark.parametrize("scenario", CORPUS, ids=_ids(CORPUS))
+def test_vectorized_and_scalar_planning_agree_exactly(scenario, planned):
+    """plan_distribution(vectorize=True) and the scalar oracle pick
+    byte-identical plans — axes, cost, exactness and search count."""
+    _, profile = planned[scenario.name]
+    fast = plan_distribution(profile, NPROCS, vectorize=True)
+    slow = plan_distribution(profile, NPROCS, vectorize=False)
+    assert fast == slow, scenario.name
+
+
+@pytest.mark.parametrize("spec", TOPOLOGIES, ids=TOPOLOGIES)
+def test_vectorized_planning_agrees_on_every_topology(spec, planned):
+    topo = parse_topology(spec)
+    for scenario in CORPUS[:6]:
+        _, profile = planned[scenario.name]
+        fast = plan_distribution(
+            profile, topo.nprocs, topology=topo, vectorize=True
+        )
+        slow = plan_distribution(
+            profile, topo.nprocs, topology=topo, vectorize=False
+        )
+        assert fast == slow, (scenario.name, spec)
+
+
 def test_batch_engine_verify_flag_agrees():
     """plan_many's built-in verifier reproduces the harness verdicts."""
     from repro.batch import plan_many

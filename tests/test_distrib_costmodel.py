@@ -30,6 +30,29 @@ class TestCostVector:
         c = CostVector(1, 2, 3) + CostVector(10, 20, 30)
         assert c == CostVector(11, 22, 33)
 
+    def test_add_foreign_type_is_a_typeerror_not_a_crash(self):
+        # __add__ must return NotImplemented (not raise AttributeError
+        # mid-expression) so Python can try the other operand and report
+        # the standard unsupported-operand TypeError.
+        assert CostVector(1, 2, 3).__add__(5) is NotImplemented
+        with pytest.raises(TypeError, match="unsupported operand"):
+            CostVector(1, 2, 3) + 5
+        with pytest.raises(TypeError, match="unsupported operand"):
+            CostVector(1, 2, 3) + (1, 2, 3)
+
+    def test_radd_zero_makes_sum_work(self):
+        # sum() seeds with int 0; __radd__ absorbs it so cost lists fold
+        # without a start= argument.
+        costs = [CostVector(1, 2, 3), CostVector(10, 20, 30), CostVector(100, 0, 0)]
+        assert sum(costs) == CostVector(111, 22, 33)
+        assert 0 + CostVector(4, 5, 6) == CostVector(4, 5, 6)
+        # Only the sum() seed is special: any other left operand still fails.
+        with pytest.raises(TypeError, match="unsupported operand"):
+            1 + CostVector(4, 5, 6)
+
+    def test_sum_of_empty_list_is_plain_zero(self):
+        assert sum([]) == 0
+
 
 class TestBuildProfile:
     def test_window_matches_executor_bounds(self):
@@ -110,6 +133,81 @@ class TestEvaluateExactness:
         _, profile = _profile(programs.example1(n=8))
         with pytest.raises(ValueError, match="rank"):
             profile.evaluate(Distribution.identity(profile.template_rank + 1))
+
+
+class TestCachedPositionAliasing:
+    """Shared cache entries must never hand out writable aliases.
+
+    The move-record compiler memoizes per-axis coordinate arrays in a
+    :class:`BoundedCache`; every consumer receives the same objects, so
+    one stray in-place write would corrupt every later profile built
+    from the same geometry.  The store path freezes each array, and the
+    container is a tuple — immutability by construction, including for
+    entries re-stored after an eviction.
+    """
+
+    def _fill_cache(self):
+        from repro.distrib import costmodel
+
+        costmodel._POSITIONS.clear()
+        _profile(programs.figure1(n=10), replication=False)
+        entries = list(costmodel._POSITIONS._data.values())
+        assert entries, "profile build should populate the position cache"
+        return entries
+
+    def test_cached_entries_are_frozen_tuples_of_readonly_arrays(self):
+        for entry in self._fill_cache():
+            assert isinstance(entry, tuple)
+            for arr in entry:
+                assert isinstance(arr, np.ndarray)
+                assert not arr.flags.writeable
+
+    def test_writes_through_cached_arrays_are_refused(self):
+        for entry in self._fill_cache():
+            for arr in entry:
+                if not arr.size:
+                    continue
+                with pytest.raises(ValueError, match="read-only"):
+                    arr[..., 0] = -1
+
+    def test_restored_entries_after_eviction_are_also_frozen(self):
+        from repro.distrib import costmodel
+
+        cache = costmodel._POSITIONS
+        self._fill_cache()
+        # Force the eviction path: shrink the bound so the next build
+        # evicts and re-stores, then confirm the re-stored entries are
+        # frozen exactly like first-time stores.
+        old = cache.maxsize
+        try:
+            cache.maxsize = 1
+            _profile(programs.figure1(n=10), replication=False)
+            for entry in cache._data.values():
+                for arr in entry:
+                    assert not arr.flags.writeable
+        finally:
+            cache.maxsize = old
+
+    def test_profiles_share_cached_arrays_not_copies(self):
+        # The point of the cache: identical geometry across profile
+        # builds yields the *same* array objects, which is exactly why
+        # they must be read-only.
+        from repro.distrib import costmodel
+
+        costmodel._POSITIONS.clear()
+        _profile(programs.figure1(n=10), replication=False)
+        first = {
+            k: tuple(id(a) for a in v)
+            for k, v in costmodel._POSITIONS._data.items()
+        }
+        _profile(programs.figure1(n=10), replication=False)
+        second = {
+            k: tuple(id(a) for a in v)
+            for k, v in costmodel._POSITIONS._data.items()
+        }
+        shared = set(first) & set(second)
+        assert shared
+        assert all(first[k] == second[k] for k in shared)
 
 
 class TestAxisHops:
