@@ -215,6 +215,40 @@ def _enumeration_front(profile, nprocs, topology):
     return dists
 
 
+def _traced_breakdown() -> dict:
+    """Per-stage wall-time breakdown of a full traced planning run.
+
+    One span-traced pipeline run (plan + distribution) per sweep
+    program on a representative machine, *outside* every timed window
+    above — tracing must never sit inside the speedup measurements.
+    Aggregated per span name for the artifact's ``breakdown`` section.
+    """
+    from repro.obs import recording, span
+
+    totals: dict[str, dict] = {}
+    per_program: dict[str, dict] = {}
+    machine = sample_topology(0, VECTOR_NPROCS, kind="torus")
+    for name, (make, kw) in SWEEP_PROGRAMS.items():
+        with recording(label=name) as rec:
+            with span(f"plan:{name}", program=name, machine=machine):
+                ctx = plan_context(make(), **kw)
+                ctx.put("machine", MachineSpec.of(topology=machine))
+                Pipeline().run(ctx, goal=("plan", "distribution"))
+        per_program[name] = {
+            sname: {"count": n, "seconds": s}
+            for sname, (n, s) in sorted(rec.totals().items())
+        }
+        for sname, (n, s) in rec.totals().items():
+            agg = totals.setdefault(sname, {"count": 0, "seconds": 0.0})
+            agg["count"] += n
+            agg["seconds"] += s
+    return {
+        "machine": machine,
+        "spans": {k: totals[k] for k in sorted(totals)},
+        "per_program": per_program,
+    }
+
+
 def run_vectorized_bench(repeats: int = 3) -> dict:
     """Scalar-vs-vectorized pricing of whole enumeration fronts.
 
@@ -302,6 +336,9 @@ def run_vectorized_bench(repeats: int = 3) -> dict:
         f"vectorized pricing speedup {speedup:.1f}x is below the "
         f"{VECTOR_SPEEDUP_FLOOR:.0f}x floor"
     )
+    # Per-stage span breakdown (additive key: schema stays backward
+    # compatible — consumers of total/entries see what they always saw).
+    out["breakdown"] = _traced_breakdown()
     with open(VECTOR_JSON, "w") as f:
         json.dump(out, f, indent=2)
     return out

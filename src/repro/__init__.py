@@ -65,8 +65,9 @@ from .machine import Distribution, measure_plan, run_program
 from .distrib import DistributionPlan, build_profile, plan_distribution
 from .batch import BatchReport, PlanResult, plan_many, plan_one, plan_sweep
 from .passes import MachineSpec, Pipeline, PlanContext
+from .obs import TraceRecorder
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ProgramBuilder",
@@ -100,5 +101,6 @@ __all__ = [
     "MachineSpec",
     "Pipeline",
     "PlanContext",
+    "TraceRecorder",
     "__version__",
 ]

@@ -7,9 +7,11 @@ Usage::
                          [--measure identity|block|cyclic] [--procs N,N]
                          [--distribute P] [--phases] [--topology SPEC]
                          [--trace-passes] [--no-vectorize]
+                         [--trace-out OUT.json] [--metrics]
     python -m repro --batch <dir|count> [--jobs J] [--serial]
                          [--batch-seed S] [--batch-json OUT.json]
                          [--distribute P] [--topology SPEC]
+                         [--trace-out OUT.json] [--metrics]
     python -m repro --explain [--distribute P] [--phases]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
@@ -37,6 +39,15 @@ Every plan is produced by the staged pass pipeline
 flags would execute and exits; ``--trace-passes`` appends the per-pass
 trace (wall time, fixpoint rounds, cache-counter deltas) to a normal
 run's report.
+
+``--trace-out OUT.json`` records the run through :mod:`repro.obs` —
+hierarchical spans over every pipeline pass, distribution search, and
+simulator call — and writes a Chrome trace-event file loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; an ASCII
+flame summary is printed too.  With ``--batch``, every worker records
+its tasks and the per-process traces are merged into one file.
+``--metrics`` prints the typed metric registry, cache hit counters
+included.
 """
 
 from __future__ import annotations
@@ -103,12 +114,24 @@ def _run_batch(args, align_kw: dict) -> int:
         distrib_options=distrib_options,
         verify=True,
         topology=args.topology,
+        trace=args.trace_out is not None,
     )
     print(report.render())
     if args.batch_json:
         with open(args.batch_json, "w") as f:
             json.dump(report.to_json(), f, indent=2)
         print(f"batch report written to {args.batch_json}")
+    if args.trace_out:
+        from .obs import write_chrome_trace
+
+        merged = report.merged_trace()
+        if merged is not None:
+            write_chrome_trace(args.trace_out, merged)
+            print(f"trace written to {args.trace_out}")
+    if args.metrics:
+        from .obs import registry
+
+        print(registry().render())
     unverified = any(r.verified is False for r in report.results)
     return 0 if not report.failures and not unverified else 1
 
@@ -177,6 +200,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the staged pipeline's per-pass trace (time, fixpoint "
         "rounds, cache deltas) after the report",
+    )
+    ap.add_argument(
+        "--trace-out",
+        metavar="OUT",
+        help="record a hierarchical span trace of the run and write it "
+        "as Chrome trace-event JSON (open in Perfetto / chrome://tracing); "
+        "with --batch, per-worker traces are merged into one file",
+    )
+    ap.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (counters, gauges, histograms, "
+        "cache hit counters) after the run",
     )
     ap.add_argument(
         "--explain",
@@ -282,76 +318,112 @@ def main(argv: list[str] | None = None) -> int:
         )
         return _run_batch(args, align_kw)
 
-    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
-    program = parse(source, name=args.file)
-
     # Single-program mode drives the staged pipeline explicitly: one
     # context, goals chosen by the flags, every artifact (plan, profile,
     # distribution, phase plan) read back off the context.
     from .align.pipeline import plan_context
     from .passes import MachineSpec, Pipeline, trace_table
 
-    pipeline = Pipeline()
-    ctx = plan_context(
-        program,
-        algorithm=args.algorithm,
-        replication=not args.no_replication,
-        mobile=not args.static,
-        **kw,
-    )
-    goals = ["plan"]
-    if args.distribute is not None:
-        machine_kw = {"vectorize": False} if args.no_vectorize else {}
-        ctx.put(
-            "machine",
-            MachineSpec.of(args.distribute, topology=args.topology, **machine_kw),
+    def run_single():
+        source = (
+            sys.stdin.read() if args.file == "-" else open(args.file).read()
         )
-        goals.append("distribution")
-        if args.phases:
-            ctx.put("phase_options", {})
-            goals.append("phase_plan")
-    pipeline.run(ctx, goal=tuple(goals))
-    plan = ctx.get("plan")
-    print(plan.report())
-
-    if args.dot:
-        with open(args.dot, "w") as f:
-            f.write(to_dot(plan.adg))
-        print(f"ADG written to {args.dot}")
-
-    if topology is not None:
-        print(f"machine model: {topology.describe()}")
-
-    if args.measure:
-        procs = tuple(int(x) for x in args.procs.split(","))
-        if len(procs) == 1:
-            procs = procs * plan.adg.template_rank
-        traffic = measure_plan(
-            plan,
-            scheme=args.measure,
-            processors=None if args.measure == "identity" else procs,
-            topology=topology,
+        program = parse(source, name=args.file)
+        pipeline = Pipeline()
+        ctx = plan_context(
+            program,
+            algorithm=args.algorithm,
+            replication=not args.no_replication,
+            mobile=not args.static,
+            **kw,
         )
-        print(f"machine ({args.measure}): {traffic.summary()}")
+        goals = ["plan"]
+        if args.distribute is not None:
+            machine_kw = {"vectorize": False} if args.no_vectorize else {}
+            ctx.put(
+                "machine",
+                MachineSpec.of(
+                    args.distribute, topology=args.topology, **machine_kw
+                ),
+            )
+            goals.append("distribution")
+            if args.phases:
+                ctx.put("phase_options", {})
+                goals.append("phase_plan")
+        pipeline.run(ctx, goal=tuple(goals))
+        plan = ctx.get("plan")
+        print(plan.report())
 
-    if args.distribute is not None:
-        from .distrib import naive_costs
-        from .machine import measure_traffic
+        if args.dot:
+            with open(args.dot, "w") as f:
+                f.write(to_dot(plan.adg))
+            print(f"ADG written to {args.dot}")
 
-        profile = ctx.get("profile")
-        dplan = ctx.get("distribution")
-        print(dplan.render())
-        naive = naive_costs(
-            profile, args.distribute, topology, vectorize=not args.no_vectorize
-        )
-        for name, cost in sorted(naive.items()):
-            print(f"  naive {name:>9s}: hops={cost.hops} moved={cost.moved}")
-        traffic = measure_traffic(
-            plan.adg, plan.alignments, dplan.to_distribution(), topology=topology
-        )
-        print(f"machine (planned): {traffic.summary()}")
-        if args.phases:
-            print(ctx.get("phase_plan").render())
+        if topology is not None:
+            print(f"machine model: {topology.describe()}")
+
+        if args.measure:
+            procs = tuple(int(x) for x in args.procs.split(","))
+            if len(procs) == 1:
+                procs = procs * plan.adg.template_rank
+            traffic = measure_plan(
+                plan,
+                scheme=args.measure,
+                processors=None if args.measure == "identity" else procs,
+                topology=topology,
+            )
+            print(f"machine ({args.measure}): {traffic.summary()}")
+
+        if args.distribute is not None:
+            from .distrib import naive_costs
+            from .machine import measure_traffic
+
+            profile = ctx.get("profile")
+            dplan = ctx.get("distribution")
+            print(dplan.render())
+            naive = naive_costs(
+                profile,
+                args.distribute,
+                topology,
+                vectorize=not args.no_vectorize,
+            )
+            for name, cost in sorted(naive.items()):
+                print(
+                    f"  naive {name:>9s}: hops={cost.hops} moved={cost.moved}"
+                )
+            traffic = measure_traffic(
+                plan.adg,
+                plan.alignments,
+                dplan.to_distribution(),
+                topology=topology,
+            )
+            print(f"machine (planned): {traffic.summary()}")
+            if args.phases:
+                print(ctx.get("phase_plan").render())
+        return ctx
+
+    if args.trace_out:
+        # The root span wraps the whole run (read, parse, plan, measure,
+        # report), so its child tree accounts for essentially all of the
+        # measured wall time — what the Perfetto view hangs off of.
+        from .obs import spans as obs_spans
+
+        with obs_spans.recording(label=str(args.file)) as rec:
+            with obs_spans.span("repro", file=str(args.file)):
+                ctx = run_single()
+        from .obs import flame, write_chrome_trace
+
+        write_chrome_trace(args.trace_out, rec)
+        print(f"\ntrace written to {args.trace_out} "
+              f"({len(rec.span_names())} span names)")
+        print(flame(rec))
+    else:
+        ctx = run_single()
+
+    if args.metrics:
+        from .obs import registry
+
+        print(registry().render())
 
     if args.trace_passes:
         print("\npass trace:")

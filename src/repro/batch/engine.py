@@ -29,6 +29,7 @@ machine-dependent suffix per (program, machine) pair.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -36,6 +37,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Union
 
 from .. import cachestats
+from ..obs import spans as obs
+from ..obs.metrics import latency_summary
+from ..obs.recorder import TraceRecorder
 from ..lang.ast import Program
 from ..lang.generate import Scenario
 from ..lang.parser import parse
@@ -95,8 +99,16 @@ class PlanResult:
     machine: Optional[str] = None
     # Counter names that went backwards during the task (cachestats.reset
     # fired mid-measurement): their cache entries are clamped to the
-    # post-reset counts, and the report surfaces the names explicitly.
+    # post-reset counts, and the report surfaces the names explicitly —
+    # plus the magnitude floor each reset wiped (the pre-reset counts).
     cache_resets: tuple[str, ...] = ()
+    cache_reset_lost: Mapping[str, tuple[int, int]] = field(
+        default_factory=dict
+    )
+    # The task's span tree when the batch ran with tracing (``trace=True``):
+    # a picklable recorder shipped back across the process pool, merged by
+    # :meth:`BatchReport.merged_trace`.
+    trace: Optional[TraceRecorder] = None
 
 
 def plan_one(
@@ -106,14 +118,37 @@ def plan_one(
     distrib_options: Mapping | None = None,
     verify: bool = False,
     topology: str | None = None,
+    trace: bool = False,
 ) -> PlanResult:
     """Plan a single program; never raises — failures become diagnostics.
 
     ``topology`` is a machine spec string (``"torus:4x4"``, …): specs —
     not topology objects — cross the process-pool boundary, so each
     worker re-parses it here.  A bad spec is a per-task diagnostic like
-    any other failure.
+    any other failure.  ``trace=True`` records the task's span tree
+    (pipeline passes, DP, front pricing, simulation) into a picklable
+    recorder on :attr:`PlanResult.trace`; tracing never changes the
+    plan, only observes it.
     """
+    if not trace:
+        return _plan_one_impl(
+            request, nprocs, align_kw, distrib_options, verify, topology
+        )
+    with obs.recording(label=request.name) as rec:
+        result = _plan_one_impl(
+            request, nprocs, align_kw, distrib_options, verify, topology
+        )
+    return dataclasses.replace(result, trace=rec)
+
+
+def _plan_one_impl(
+    request: PlanRequest,
+    nprocs: int | None,
+    align_kw: Mapping | None,
+    distrib_options: Mapping | None,
+    verify: bool,
+    topology: str | None,
+) -> PlanResult:
     from ..align.pipeline import plan_context
     from ..passes import MachineSpec, Pipeline
     from ..topology import parse_topology
@@ -127,66 +162,75 @@ def plan_one(
         if nprocs is None and topology is None
         else _machine_label(nprocs, topology)
     )
-    try:
-        topo = None if topology is None else parse_topology(topology)
-        program = parse(request.source, name=request.name)
-        ctx = plan_context(program, **dict(align_kw or {}))
-        goals = ["plan"]
-        if nprocs is not None:
-            ctx.put(
-                "machine",
-                MachineSpec.of(
-                    nprocs, topology=topology, **dict(distrib_options or {})
-                ),
+    with obs.span(
+        f"plan:{request.name}", program=request.name, machine=label
+    ):
+        try:
+            topo = None if topology is None else parse_topology(topology)
+            program = parse(request.source, name=request.name)
+            ctx = plan_context(program, **dict(align_kw or {}))
+            goals = ["plan"]
+            if nprocs is not None:
+                ctx.put(
+                    "machine",
+                    MachineSpec.of(
+                        nprocs, topology=topology, **dict(distrib_options or {})
+                    ),
+                )
+                goals.append("distribution")
+            Pipeline().run(ctx, goal=tuple(goals))
+            plan = ctx.get("plan")
+            alignments = {
+                arr: repr(al)
+                for arr, al in sorted(plan.source_alignments().items())
+            }
+            directive = hops = moved = exact = None
+            profile = None
+            if nprocs is not None:
+                profile = ctx.get("profile")
+                dplan = ctx.get("distribution")
+                plan.distribution = dplan
+                directive = dplan.directive()
+                hops, moved = dplan.cost.hops, dplan.cost.moved
+                exact = dplan.exact
+            verified = None
+            if verify:
+                with obs.span("batch.verify"):
+                    verified = _verify(plan, profile, topo)
+            resets: set[str] = set()
+            lost: dict[str, tuple[int, int]] = {}
+            cache = cachestats.delta(before, resets=resets, lost=lost)
+            return PlanResult(
+                name=request.name,
+                ok=True,
+                seconds=time.perf_counter() - t0,
+                total_cost=str(plan.total_cost),
+                alignments=alignments,
+                distribution=directive,
+                dist_hops=hops,
+                dist_moved=moved,
+                dist_exact=exact,
+                verified=verified,
+                cache=cache,
+                passes=_pass_seconds(ctx.trace),
+                machine=label,
+                cache_resets=tuple(sorted(resets)),
+                cache_reset_lost=lost,
             )
-            goals.append("distribution")
-        Pipeline().run(ctx, goal=tuple(goals))
-        plan = ctx.get("plan")
-        alignments = {
-            arr: repr(al) for arr, al in sorted(plan.source_alignments().items())
-        }
-        directive = hops = moved = exact = None
-        profile = None
-        if nprocs is not None:
-            profile = ctx.get("profile")
-            dplan = ctx.get("distribution")
-            plan.distribution = dplan
-            directive = dplan.directive()
-            hops, moved = dplan.cost.hops, dplan.cost.moved
-            exact = dplan.exact
-        verified = None
-        if verify:
-            verified = _verify(plan, profile, topo)
-        resets: set[str] = set()
-        cache = cachestats.delta(before, resets=resets)
-        return PlanResult(
-            name=request.name,
-            ok=True,
-            seconds=time.perf_counter() - t0,
-            total_cost=str(plan.total_cost),
-            alignments=alignments,
-            distribution=directive,
-            dist_hops=hops,
-            dist_moved=moved,
-            dist_exact=exact,
-            verified=verified,
-            cache=cache,
-            passes=_pass_seconds(ctx.trace),
-            machine=label,
-            cache_resets=tuple(sorted(resets)),
-        )
-    except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
-        resets = set()
-        cache = cachestats.delta(before, resets=resets)
-        return PlanResult(
-            name=request.name,
-            ok=False,
-            seconds=time.perf_counter() - t0,
-            error=f"{type(exc).__name__}: {exc}",
-            cache=cache,
-            machine=label,
-            cache_resets=tuple(sorted(resets)),
-        )
+        except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
+            resets = set()
+            lost = {}
+            cache = cachestats.delta(before, resets=resets, lost=lost)
+            return PlanResult(
+                name=request.name,
+                ok=False,
+                seconds=time.perf_counter() - t0,
+                error=f"{type(exc).__name__}: {exc}",
+                cache=cache,
+                machine=label,
+                cache_resets=tuple(sorted(resets)),
+                cache_reset_lost=lost,
+            )
 
 
 def _pass_seconds(trace) -> dict[str, float]:
@@ -231,8 +275,22 @@ def _verify(plan, profile, topo=None) -> bool:
 
 
 def _worker(payload: tuple) -> PlanResult:
-    request, nprocs, align_kw, distrib_options, verify, topology = payload
-    return plan_one(request, nprocs, align_kw, distrib_options, verify, topology)
+    request, nprocs, align_kw, distrib_options, verify, topology, trace = payload
+    return plan_one(
+        request, nprocs, align_kw, distrib_options, verify, topology, trace
+    )
+
+
+def _family(name: str) -> str:
+    """The program family of a result name, for latency grouping.
+
+    Generated scenarios are named ``family_seed`` and sweep results
+    ``name@machine``; strip the machine suffix, then a trailing numeric
+    seed.  A name with neither is its own family.
+    """
+    base = name.split("@", 1)[0]
+    stem, _, tail = base.rpartition("_")
+    return stem if stem and tail.isdigit() else base
 
 
 @dataclass
@@ -279,6 +337,33 @@ class BatchReport:
             names.update(r.cache_resets)
         return tuple(sorted(names))
 
+    def cache_reset_lost(self) -> dict[str, tuple[int, int]]:
+        """Summed magnitude floor each reset counter lost across tasks
+        (the pre-reset ``(hits, misses)`` wiped by each observed reset)."""
+        out: dict[str, tuple[int, int]] = {}
+        for r in self.results:
+            cachestats.merge(out, r.cache_reset_lost)
+        return out
+
+    def latency_summaries(self, unit: float = 1e3) -> dict[str, dict]:
+        """Histogram-backed per-task latency (p50/p90/p99) per program
+        family, plus an ``"*"`` row for the whole batch; milliseconds by
+        default (``unit`` rescales seconds)."""
+        groups: dict[str, list] = {"*": []}
+        for r in self.results:
+            groups["*"].append(r.seconds)
+            groups.setdefault(_family(r.name), []).append(r.seconds)
+        return latency_summary(groups, unit=unit)
+
+    def merged_trace(self) -> Optional[TraceRecorder]:
+        """All per-worker recorders folded into one multi-process trace
+        with per-program attribution; None when the batch ran untraced."""
+        recorders = [r.trace for r in self.results if r.trace is not None]
+        if not recorders:
+            return None
+        merged = TraceRecorder.merged(recorders, label="batch")
+        return merged
+
     def pass_totals(self) -> dict[str, tuple[int, float]]:
         """Per-pass ``(executions, wall seconds)`` across every task."""
         totals: dict[str, tuple[int, float]] = {}
@@ -304,6 +389,11 @@ class BatchReport:
                 for name, (h, m) in sorted(self.cache_totals().items())
             },
             "cache_resets": list(self.cache_reset_names()),
+            "cache_reset_lost": {
+                name: {"hits": h, "misses": m}
+                for name, (h, m) in sorted(self.cache_reset_lost().items())
+            },
+            "latency": self.latency_summaries(),
             "passes": {
                 name: {"executions": n, "seconds": s}
                 for name, (n, s) in sorted(self.pass_totals().items())
@@ -349,10 +439,23 @@ class BatchReport:
             )
         resets = self.cache_reset_names()
         if resets:
+            lost = self.cache_reset_lost()
+            detail = ", ".join(
+                f"{name} (lost >= {lost.get(name, (0, 0))[0]}h/"
+                f"{lost.get(name, (0, 0))[1]}m)"
+                for name in resets
+            )
             lines.append(
                 "  WARNING: counters reset mid-task (deltas clamped): "
-                + ", ".join(resets)
+                + detail
             )
+        for fam, s in self.latency_summaries().items():
+            if s.get("count"):
+                lines.append(
+                    f"  latency {fam:20s} n={s['count']:6d} "
+                    f"p50={s['p50']:8.2f}ms p90={s['p90']:8.2f}ms "
+                    f"p99={s['p99']:8.2f}ms max={s['max']:8.2f}ms"
+                )
         for name, (n, s) in sorted(self.pass_totals().items()):
             lines.append(
                 f"  pass  {name:22s} runs={n:8d} seconds={s:9.3f}"
@@ -374,6 +477,7 @@ def plan_many(
     distrib_options: Mapping | None = None,
     verify: bool = False,
     topology: str | None = None,
+    trace: bool = False,
 ) -> BatchReport:
     """Plan every program in ``corpus``; results in corpus order.
 
@@ -382,7 +486,9 @@ def plan_many(
     and any failure to spawn the pool degrades to it silently, so
     ``plan_many`` works in restricted environments.  ``topology`` is a
     machine spec string applied to every task (validated up front so a
-    typo fails fast, then shipped to workers as text).
+    typo fails fast, then shipped to workers as text).  ``trace=True``
+    records every task's span tree in its worker and ships the
+    recorders back for :meth:`BatchReport.merged_trace`.
     """
     if topology is not None:
         from ..topology import parse_topology
@@ -397,6 +503,7 @@ def plan_many(
             dict(distrib_options or {}),
             verify,
             topology,
+            trace,
         )
         for req in requests
     ]
@@ -461,18 +568,28 @@ def _machine_label(nprocs: Optional[int], spec: Optional[str]) -> str:
 
 def _prefix_worker(payload: tuple):
     """Stage 1: run the machine-independent pipeline prefix for one
-    program; the returned PlanContext crosses the pool boundary."""
+    program; the returned PlanContext crosses the pool boundary (so
+    does the prefix's trace recorder, when the sweep is traced)."""
     from ..align.pipeline import plan_context
     from ..passes import Pipeline
 
-    request, align_kw = payload
-    try:
+    request, align_kw, trace = payload
+
+    def run():
         program = parse(request.source, name=request.name)
         ctx = plan_context(program, **align_kw)
         Pipeline().run(ctx, goal="profile")
-        return (request.name, ctx, None)
+        return ctx
+
+    try:
+        if trace:
+            with obs.recording(label=request.name) as rec:
+                with obs.span(f"prefix:{request.name}", program=request.name):
+                    ctx = run()
+            return (request.name, ctx, None, rec)
+        return (request.name, run(), None, None)
     except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
-        return (request.name, None, f"{type(exc).__name__}: {exc}")
+        return (request.name, None, f"{type(exc).__name__}: {exc}", None)
 
 
 def _suffix_worker(payload: tuple) -> list[PlanResult]:
@@ -486,39 +603,65 @@ def _suffix_worker(payload: tuple) -> list[PlanResult]:
     from ..passes import MachineSpec, Pipeline
     from ..topology import parse_topology
 
-    name, ctx, chunk, distrib_options, verify, include_prefix = payload
+    (
+        name,
+        ctx,
+        chunk,
+        distrib_options,
+        verify,
+        include_prefix,
+        trace,
+        prefix_rec,
+    ) = payload
     # The prefix trace traveled with the context; charge its pass
     # timings to the chunk's first result — success or failure — so
     # BatchReport.pass_totals() counts the stage-1 executions exactly
-    # once per program.
+    # once per program.  The same policy covers the prefix's *span*
+    # recorder: merged into the first result's recorder below.
     prefix_passes = _pass_seconds(ctx.trace) if include_prefix else {}
+    if not include_prefix:
+        prefix_rec = None
     results: list[PlanResult] = []
     for nprocs, spec in chunk:
         label = _machine_label(nprocs, spec)
+        task_name = f"{name}@{label}"
+        rec = recording_cm = None
+        if trace:
+            rec = TraceRecorder(label=task_name)
+            if prefix_rec is not None:
+                rec.merge(prefix_rec, program=task_name)
+                prefix_rec = None
+            recording_cm = obs.recording(into=rec)
+            recording_cm.__enter__()
         before = cachestats.snapshot()
         t0 = time.perf_counter()
         try:
-            sub = ctx.fork()
-            sub.put(
-                "machine",
-                MachineSpec.of(nprocs, topology=spec, **distrib_options),
-            )
-            Pipeline().run(sub, goal=("plan", "distribution"))
-            plan = sub.get("plan")
-            dplan = sub.get("distribution")
-            verified = None
-            if verify:
-                topo = None if spec is None else parse_topology(spec)
-                verified = _verify(plan, sub.get("profile"), topo)
+            with obs.span(
+                f"plan:{task_name}", program=task_name, machine=label
+            ):
+                sub = ctx.fork()
+                sub.put(
+                    "machine",
+                    MachineSpec.of(nprocs, topology=spec, **distrib_options),
+                )
+                Pipeline().run(sub, goal=("plan", "distribution"))
+                plan = sub.get("plan")
+                dplan = sub.get("distribution")
+                verified = None
+                if verify:
+                    topo = None if spec is None else parse_topology(spec)
+                    with obs.span("batch.verify"):
+                        verified = _verify(plan, sub.get("profile"), topo)
             passes = _pass_seconds(sub.trace)
             for p, s in prefix_passes.items():
                 passes[p] = passes.get(p, 0.0) + s
             prefix_passes = {}
             resets: set[str] = set()
-            cache = cachestats.delta(before, resets=resets)
+            lost: dict[str, tuple[int, int]] = {}
+            cache = cachestats.delta(before, resets=resets, lost=lost)
             results.append(
                 PlanResult(
-                    name=f"{name}@{label}",
+                    name=task_name,
                     ok=True,
                     seconds=time.perf_counter() - t0,
                     total_cost=str(sub.get("total_cost")),
@@ -535,16 +678,19 @@ def _suffix_worker(payload: tuple) -> list[PlanResult]:
                     passes=passes,
                     machine=label,
                     cache_resets=tuple(sorted(resets)),
+                    cache_reset_lost=lost,
+                    trace=rec,
                 )
             )
         except Exception as exc:  # noqa: BLE001 - diagnostics, not control flow
             passes = dict(prefix_passes)
             prefix_passes = {}
             resets = set()
-            cache = cachestats.delta(before, resets=resets)
+            lost = {}
+            cache = cachestats.delta(before, resets=resets, lost=lost)
             results.append(
                 PlanResult(
-                    name=f"{name}@{label}",
+                    name=task_name,
                     ok=False,
                     seconds=time.perf_counter() - t0,
                     error=f"{type(exc).__name__}: {exc}",
@@ -552,8 +698,13 @@ def _suffix_worker(payload: tuple) -> list[PlanResult]:
                     passes=passes,
                     machine=label,
                     cache_resets=tuple(sorted(resets)),
+                    cache_reset_lost=lost,
+                    trace=rec,
                 )
             )
+        finally:
+            if recording_cm is not None:
+                recording_cm.__exit__(None, None, None)
     return results
 
 
@@ -565,6 +716,7 @@ def plan_sweep(
     align_kw: Mapping | None = None,
     distrib_options: Mapping | None = None,
     verify: bool = False,
+    trace: bool = False,
 ) -> BatchReport:
     """Plan every program against every machine, reusing aligned prefixes.
 
@@ -582,7 +734,9 @@ def plan_sweep(
     if not specs:
         raise ValueError("plan_sweep needs at least one machine")
     dopts = dict(distrib_options or {})
-    prefix_payloads = [(req, dict(align_kw or {})) for req in requests]
+    prefix_payloads = [
+        (req, dict(align_kw or {}), trace) for req in requests
+    ]
 
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = max(1, min(jobs, len(requests) * len(specs) or 1))
@@ -598,12 +752,14 @@ def plan_sweep(
 
     def stage2_payloads(prefixes):
         out = []
-        for name, ctx, err in prefixes:
+        for name, ctx, err, rec in prefixes:
             if err is not None:
                 out.append((name, err))
                 continue
             for i, chunk in enumerate(machine_chunks()):
-                out.append((name, ctx, chunk, dopts, verify, i == 0))
+                out.append(
+                    (name, ctx, chunk, dopts, verify, i == 0, trace, rec)
+                )
         return out
 
     def failed(name: str, err: str) -> list[PlanResult]:

@@ -46,6 +46,7 @@ def delta(
     before: Mapping[str, tuple[int, int]],
     after: Mapping[str, tuple[int, int]] | None = None,
     resets: set[str] | None = None,
+    lost: dict[str, tuple[int, int]] | None = None,
 ) -> dict[str, tuple[int, int]]:
     """Counter increments between two snapshots (``after`` defaults to now).
 
@@ -59,7 +60,10 @@ def delta(
     honest increment is unknowable, so the contribution is clamped to
     the counts accumulated *since* the reset (the raw ``after`` values,
     never negative), and the name is added to ``resets`` when the caller
-    passes a set to collect them.
+    passes a set to collect them.  ``lost`` (when passed) additionally
+    records the reset's *magnitude*: the ``before`` counts are a floor
+    on what the reset wiped (the counter held at least that much when it
+    was zeroed), so ``lost[name] = (hits, misses)`` from ``before``.
     """
     after = snapshot() if after is None else after
     out: dict[str, tuple[int, int]] = {}
@@ -70,6 +74,8 @@ def delta(
             # Counter went backwards: a reset happened in between.
             if resets is not None:
                 resets.add(name)
+            if lost is not None:
+                lost[name] = (h0, m0)
             if h or m:
                 out[name] = (h, m)
         elif h != h0 or m != m0:

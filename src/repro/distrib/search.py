@@ -24,6 +24,7 @@ import random
 from typing import Sequence
 
 from ..cachestats import _cell
+from ..obs import spans as obs
 from ..solvers.dp import DiscreteLabelingProblem
 from ..topology import AxisMetric, Topology
 from ..topology.models import most_balanced
@@ -64,33 +65,39 @@ def _axis_hop_table(
     ``vectorize=False`` keeps the per-candidate pure-Python path — the
     differential oracle, and the ``--no-vectorize`` debugging fallback.
     """
-    if vectorize:
-        from .vectorized import axis_front_hops
+    with obs.span(
+        "distrib.front_price",
+        candidates=sum(len(clist) for clist in cands),
+        axes=len(cands),
+        vectorized=vectorize,
+    ):
+        if vectorize:
+            from .vectorized import axis_front_hops
 
+            return [
+                [
+                    int(h)
+                    for h in axis_front_hops(
+                        profile,
+                        t,
+                        clist,
+                        None if metrics is None else metrics[t],
+                    )
+                ]
+                for t, clist in enumerate(cands)
+            ]
+        _FRONT_STATS[1] += sum(len(clist) for clist in cands)
         return [
             [
-                int(h)
-                for h in axis_front_hops(
-                    profile,
+                profile.axis_hops(
                     t,
-                    clist,
+                    c.to_axis_distribution(),
                     None if metrics is None else metrics[t],
                 )
+                for c in clist
             ]
             for t, clist in enumerate(cands)
         ]
-    _FRONT_STATS[1] += sum(len(clist) for clist in cands)
-    return [
-        [
-            profile.axis_hops(
-                t,
-                c.to_axis_distribution(),
-                None if metrics is None else metrics[t],
-            )
-            for c in clist
-        ]
-        for t, clist in enumerate(cands)
-    ]
 
 
 def _solve_axes_dp(
@@ -110,26 +117,32 @@ def _solve_axes_dp(
     machinery the alignment phases use, and stays correct if coupled
     inter-axis costs are ever added as real edges.)
     """
-    prob = DiscreteLabelingProblem()
-    hops = _axis_hop_table(profile, cands, metrics, vectorize)
-    for t, clist in enumerate(cands):
-        prob.add_node(t, list(range(len(clist))))
-        for ci in range(len(clist)):
-            w = hops[t][ci]
-            if w:
-                # One anchor per (axis, candidate): parallel edges to a
-                # shared anchor would not be a forest.
-                anchor = (_ANCHOR, t, ci)
-                prob.fix_node(anchor, 0)
-                prob.add_edge(
-                    t,
-                    anchor,
-                    w,
-                    predicate=lambda lu, lv, ci=ci: lu != ci,
-                )
-    res = prob.solve_tree()
-    chosen = [clist[res.labels[t]] for t, clist in enumerate(cands)]
-    return chosen, int(res.cost)
+    with obs.span(
+        "distrib.axis_dp",
+        axes=len(cands),
+        candidates=sum(len(clist) for clist in cands),
+        vectorized=vectorize,
+    ):
+        prob = DiscreteLabelingProblem()
+        hops = _axis_hop_table(profile, cands, metrics, vectorize)
+        for t, clist in enumerate(cands):
+            prob.add_node(t, list(range(len(clist))))
+            for ci in range(len(clist)):
+                w = hops[t][ci]
+                if w:
+                    # One anchor per (axis, candidate): parallel edges to a
+                    # shared anchor would not be a forest.
+                    anchor = (_ANCHOR, t, ci)
+                    prob.fix_node(anchor, 0)
+                    prob.add_edge(
+                        t,
+                        anchor,
+                        w,
+                        predicate=lambda lu, lv, ci=ci: lu != ci,
+                    )
+        res = prob.solve_tree()
+        chosen = [clist[res.labels[t]] for t, clist in enumerate(cands)]
+        return chosen, int(res.cost)
 
 
 def _finish(
@@ -185,22 +198,30 @@ def plan_distribution(
             f"{profile.template_rank} template"
         )
     dp_work = sum(len(c) for _, cands in spaces for c in cands)
-    if dp_work <= exhaustive_limit:
-        covered = space_size(profile, nprocs, block_sizes, topology)
-        best: DistributionPlan | None = None
-        for grid, cands in spaces:
-            metrics = _metrics_for_grid(topology, grid)
-            axes, _ = _solve_axes_dp(profile, cands, metrics, vectorize)
-            plan = _finish(
-                profile, axes, exact=True, searched=covered, topology=topology
-            )
-            if best is None or (plan.cost, plan.grid) < (best.cost, best.grid):
-                best = plan
-        assert best is not None
-        return best
-    return _local_search(
-        profile, nprocs, block_sizes, seed, restarts, topology, vectorize
-    )
+    with obs.span(
+        "distrib.plan",
+        nprocs=nprocs,
+        grids=len(spaces),
+        candidates=dp_work,
+        exhaustive=dp_work <= exhaustive_limit,
+        vectorized=vectorize,
+    ):
+        if dp_work <= exhaustive_limit:
+            covered = space_size(profile, nprocs, block_sizes, topology)
+            best: DistributionPlan | None = None
+            for grid, cands in spaces:
+                metrics = _metrics_for_grid(topology, grid)
+                axes, _ = _solve_axes_dp(profile, cands, metrics, vectorize)
+                plan = _finish(
+                    profile, axes, exact=True, searched=covered, topology=topology
+                )
+                if best is None or (plan.cost, plan.grid) < (best.cost, best.grid):
+                    best = plan
+            assert best is not None
+            return best
+        return _local_search(
+            profile, nprocs, block_sizes, seed, restarts, topology, vectorize
+        )
 
 
 def rank_plans(

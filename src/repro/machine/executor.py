@@ -18,6 +18,7 @@ from ..adg.graph import ADG, ADGEdge
 from ..align.cost import AlignmentMap
 from ..align.pipeline import AlignmentPlan
 from ..ir.symbols import LIV
+from ..obs import spans as obs
 from ..topology import Topology, distribution_metrics
 from .comm import MoveCount, _axis_positions, count_move
 from .distribution import Distribution
@@ -131,30 +132,35 @@ def measure_traffic(
         None if topology is None else distribution_metrics(topology, dist)
     )
     report = TrafficReport()
-    for e in adg.edges:
-        total = MoveCount()
-        for env in e.space.points():
-            shape = _shape_at(e.tail, env)
-            mc = count_move(
-                alignments[e.tail.key],
-                alignments[e.head.key],
-                shape,
-                env,
-                dist,
-                metrics,
-            )
-            total = total + mc
-        if control_weighted and e.control_weight != 1.0:
-            f = e.control_weight
-            total = MoveCount(
-                total.elements,
-                int(round(total.elements_moved * f)),
-                int(round(total.hop_cost * f)),
-                int(round(total.broadcast_elements * f)),
-                total.general,
-                int(round(total.general_elements * f)),
-            )
-        report.edges.append(EdgeTraffic(e, total))
+    with obs.span(
+        "machine.simulate",
+        edges=len(adg.edges),
+        topology="L1-grid" if topology is None else topology.spec(),
+    ):
+        for e in adg.edges:
+            total = MoveCount()
+            for env in e.space.points():
+                shape = _shape_at(e.tail, env)
+                mc = count_move(
+                    alignments[e.tail.key],
+                    alignments[e.head.key],
+                    shape,
+                    env,
+                    dist,
+                    metrics,
+                )
+                total = total + mc
+            if control_weighted and e.control_weight != 1.0:
+                f = e.control_weight
+                total = MoveCount(
+                    total.elements,
+                    int(round(total.elements_moved * f)),
+                    int(round(total.hop_cost * f)),
+                    int(round(total.broadcast_elements * f)),
+                    total.general,
+                    int(round(total.general_elements * f)),
+                )
+            report.edges.append(EdgeTraffic(e, total))
     return report
 
 

@@ -1,0 +1,73 @@
+"""Unified observability: hierarchical tracing spans + typed metrics.
+
+The telemetry substrate under every instrumented layer of the planner
+(ROADMAP item 1's prerequisite).  Four pieces:
+
+* :mod:`repro.obs.spans` — hierarchical :class:`Span` contexts with a
+  thread-local active stack, ``@traced``, and a near-zero disabled
+  path; tracing is off unless a recorder is installed.
+* :mod:`repro.obs.metrics` — a typed registry of counters, gauges, and
+  log-scaled histograms (p50/p90/p99), absorbing
+  :mod:`repro.cachestats` as a compatibility facade.
+* :mod:`repro.obs.recorder` — picklable :class:`TraceRecorder` /
+  :class:`SpanRecord` trees; what batch workers ship back across the
+  process pool, mergeable into one multi-process trace.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable,
+  CLI ``--trace-out``), structured JSON, and an ASCII flame summary;
+  :mod:`repro.obs.check` validates emitted files.
+"""
+
+from .export import (
+    flame,
+    root_coverage,
+    to_chrome,
+    to_json,
+    write_chrome_trace,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    latency_summary,
+    registry,
+)
+from .recorder import SpanRecord, TraceRecorder
+from .spans import (
+    Span,
+    annotate,
+    current,
+    disable,
+    enable,
+    enabled,
+    instant,
+    recording,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "Span",
+    "SpanRecord",
+    "TraceRecorder",
+    "annotate",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "flame",
+    "instant",
+    "latency_summary",
+    "recording",
+    "registry",
+    "root_coverage",
+    "span",
+    "to_chrome",
+    "to_json",
+    "traced",
+    "write_chrome_trace",
+]

@@ -1,0 +1,100 @@
+"""Chrome trace-event schema checker for emitted trace files.
+
+Validates the subset of the trace-event format this package emits (and
+that Perfetto requires to load a file): a ``traceEvents`` list whose
+entries carry ``name``/``ph``/``pid``/``tid``, with numeric
+non-negative ``ts``/``dur`` on complete (``"X"``) events and an
+``args`` object where present.  Runnable as a script — CI points it at
+the benchmark job's trace artifact::
+
+    python -m repro.obs.check trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+_KNOWN_PHASES = {"X", "B", "E", "I", "i", "M", "C"}
+
+
+def validate_chrome_trace(obj: object) -> list[str]:
+    """Every schema violation found in a parsed trace; empty = valid."""
+    errors: list[str] = []
+    if isinstance(obj, list):
+        events = obj  # the array form is legal Chrome trace JSON too
+    elif isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' list"]
+    else:
+        return [f"trace must be an object or array, not {type(obj).__name__}"]
+    if not events:
+        errors.append("traceEvents is empty")
+        return errors
+    saw_complete = False
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing/empty 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: '{field}' must be an int")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+        if ph == "M":
+            continue  # metadata events carry no timestamps
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if ph == "X":
+            saw_complete = True
+            dur = ev.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                errors.append(f"{where}: 'dur' must be a non-negative number")
+    if not saw_complete:
+        errors.append("no complete ('X') duration events in trace")
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        with open(path) as f:
+            obj = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"]
+    return validate_chrome_trace(obj)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.check TRACE.json...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        errors = check_file(path)
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{path}: {e}", file=sys.stderr)
+        else:
+            with open(path) as f:
+                n = len(json.load(f).get("traceEvents", []))
+            print(f"{path}: valid Chrome trace ({n} events)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,231 @@
+"""Typed metric registry: counters, gauges, log-scaled histograms.
+
+Three metric kinds, all cheap enough for hot paths:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`Gauge` — a last-write-wins float.
+* :class:`Histogram` — log-scaled buckets (base ``2**0.25``, ~19%
+  resolution) with exact count/sum/min/max; percentiles are read off
+  the bucket boundaries by geometric interpolation, so p50/p90/p99 are
+  within one bucket width of exact at constant memory.
+
+The process-global :func:`registry` is the front door.  It *absorbs*
+:mod:`repro.cachestats` as a compatibility facade: cache hit/miss
+counters registered there surface through :meth:`Registry.snapshot`
+under ``cache.<name>.hits`` / ``cache.<name>.misses`` without touching
+any cachestats call site — the batch engine, the memo kernels, and
+their tests keep the API they always had.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Union
+
+from .. import cachestats
+
+_LOG_BASE = 2.0 ** 0.25
+_LN_BASE = math.log(_LOG_BASE)
+
+
+class Counter:
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log-scaled histogram over non-negative observations.
+
+    Bucket ``i`` covers ``(base**(i-1), base**i]``; zero lands in a
+    dedicated bucket.  Memory is one dict entry per occupied bucket.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "zeros")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative value {value}")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0:
+            self.zeros += 1
+            return
+        i = math.ceil(math.log(value) / _LN_BASE - 1e-12)
+        self.buckets[i] = self.buckets.get(i, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.zeros += other.zeros
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+
+    def percentile(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1], bucket-resolution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = self.zeros
+        if seen >= target:
+            return 0.0
+        for i in sorted(self.buckets):
+            seen += self.buckets[i]
+            if seen >= target:
+                lo = _LOG_BASE ** (i - 1)
+                hi = _LOG_BASE ** i
+                # Geometric bucket midpoint, clamped to observed range.
+                mid = math.sqrt(lo * hi)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.total / self.count,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class Registry:
+    """Name-keyed store of typed metrics; accessors create on first use."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def _get(self, name: str, kind: type) -> Metric:
+        m = self._metrics.get(name)
+        if m is None:
+            m = kind(name)
+            self._metrics[name] = m
+        elif not isinstance(m, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(m).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return m
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def snapshot(self, include_cachestats: bool = True) -> dict:
+        """Everything, JSON-ready — cachestats counters included via the
+        compatibility facade (``cache.<name>.hits`` / ``.misses``)."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, Optional[float]] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            m = self._metrics[name]
+            if isinstance(m, Counter):
+                counters[name] = m.value
+            elif isinstance(m, Gauge):
+                gauges[name] = m.value
+            else:
+                histograms[name] = m.summary()
+        if include_cachestats:
+            for name, (hits, misses) in sorted(cachestats.snapshot().items()):
+                counters[f"cache.{name}.hits"] = hits
+                counters[f"cache.{name}.misses"] = misses
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render(self, include_cachestats: bool = True) -> str:
+        snap = self.snapshot(include_cachestats)
+        lines = ["metrics:"]
+        for name, v in snap["counters"].items():
+            lines.append(f"  counter   {name:<36s} {v}")
+        for name, v in snap["gauges"].items():
+            lines.append(f"  gauge     {name:<36s} {v}")
+        for name, s in snap["histograms"].items():
+            if s.get("count"):
+                lines.append(
+                    f"  histogram {name:<36s} n={s['count']} "
+                    f"p50={s['p50']:.4g} p90={s['p90']:.4g} "
+                    f"p99={s['p99']:.4g} max={s['max']:.4g}"
+                )
+            else:
+                lines.append(f"  histogram {name:<36s} n=0")
+        return "\n".join(lines)
+
+
+_REGISTRY = Registry()
+
+
+def registry() -> Registry:
+    """The process-global default registry."""
+    return _REGISTRY
+
+
+def latency_summary(
+    seconds_by_key: Mapping[str, list], unit: float = 1.0
+) -> dict[str, dict]:
+    """Histogram-backed p50/p90/p99 summaries for grouped samples.
+
+    The batch engine feeds this per program family; ``unit`` rescales
+    (e.g. ``1e3`` for milliseconds in reports).
+    """
+    out: dict[str, dict] = {}
+    for key in sorted(seconds_by_key):
+        h = Histogram(key)
+        for s in seconds_by_key[key]:
+            h.observe(s * unit)
+        out[key] = h.summary()
+    return out

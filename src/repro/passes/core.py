@@ -33,6 +33,7 @@ from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
 
 from .. import cachestats
+from ..obs import spans as obs
 
 
 class PipelineError(Exception):
@@ -214,6 +215,7 @@ class PlanContext:
         of the pass currently running; no-op outside a pass."""
         if self._current_event is not None:
             self._current_event.update(extras)
+        obs.annotate(**extras)  # mirrored onto the active span, if tracing
 
     # -- prefix reuse ------------------------------------------------------
 
@@ -448,6 +450,7 @@ class Pipeline:
                     # the pass re-runs instead of serving stale artifacts.
                     ctx._ledger[p.name] = signature
                 self.stats[p.name].reuses += 1
+                obs.instant(f"pass:{p.name}", event="reuse")
                 ctx.trace.append(
                     {
                         "pass": p.name,
@@ -469,7 +472,12 @@ class Pipeline:
             before = cachestats.snapshot()
             t0 = time.perf_counter()
             try:
-                p.run(ctx)
+                # The span subsumes the trace event when tracing is on:
+                # same name, wall time, and cache deltas, but as a node
+                # in the hierarchical trace (nested under whatever span
+                # the caller — CLI root, batch task — has open).
+                with obs.span(f"pass:{p.name}", kind="pass"):
+                    p.run(ctx)
             finally:
                 event["seconds"] = time.perf_counter() - t0
                 event["cache"] = cachestats.delta(before)
