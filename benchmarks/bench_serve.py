@@ -1,0 +1,221 @@
+"""Serve-side load generator: cold vs warm plan-cache latency.
+
+Drives :class:`repro.serve.PlanService` with a generated request corpus
+(every scenario family, repeated queries per program — the repeat-heavy
+traffic shape the daemon exists for) in two phases:
+
+* **cold** — a fresh cache directory; every unique program is planned
+  through the full pipeline once;
+* **warm** — a *new* service instance warm-started from the same cache
+  directory (the cross-process persistence story), serving the whole
+  repeat stream from the plan cache.
+
+Gates, asserted here and re-checked by CI against the emitted artifact:
+
+* every warm response is a ``cached="plan"`` hit and its payload is
+  **byte-identical** (pickled) to the cold payload for that key;
+* warm p50 latency is at least :data:`SERVE_SPEEDUP_FLOOR` (10×) lower
+  than cold p50.
+
+Results land in ``BENCH_serve.json`` at the repo root (throughput +
+p50/p99 ms, cold vs warm) — the serve-side perf trajectory for later
+PRs.  Script-runnable::
+
+    python benchmarks/bench_serve.py --json out/bench_serve.json \
+        [--programs N] [--repeats R] [--jobs J]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+
+from repro._io import atomic_write_json
+from repro.lang.generate import generate_corpus
+from repro.machine import format_table
+from repro.obs.metrics import latency_summary
+from repro.serve import PlanService, ServeRequest
+
+SERVE_SPEEDUP_FLOOR = 10.0
+SERVE_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serve.json"
+)
+
+#: Benchmark artifact schema (validated by CI): bump on layout changes.
+SERVE_BENCH_SCHEMA = 1
+
+
+def _requests(programs: int, repeats: int, seed: int) -> list[ServeRequest]:
+    """``programs`` unique scenarios (round-robin over all families),
+    each queried ``repeats`` times, interleaved program-major."""
+    corpus = generate_corpus(programs, seed=seed)
+    return [
+        ServeRequest(s.name, s.source, nprocs=4)
+        for _ in range(repeats)
+        for s in corpus
+    ]
+
+
+def _phase(service: PlanService, requests: list[ServeRequest]) -> dict:
+    """Serve one request stream; per-request latencies + payload bytes."""
+    latencies: list[float] = []
+    payloads: dict[str, bytes] = {}
+    cached_counts: dict[str, int] = {}
+    t0 = time.perf_counter()
+    for req in requests:
+        resp = service.handle(req)
+        assert resp.ok, f"{req.name}: {resp.error}"
+        latencies.append(resp.seconds)
+        key = resp.cached or "cold"
+        cached_counts[key] = cached_counts.get(key, 0) + 1
+        blob = pickle.dumps(resp.plan)
+        prior = payloads.setdefault(req.name, blob)
+        assert prior == blob, f"{req.name}: payload drifted within phase"
+    wall = time.perf_counter() - t0
+    summary = latency_summary({"lat": latencies}, unit=1e3)["lat"]
+    return {
+        "requests": len(requests),
+        "wall_seconds": wall,
+        "throughput_rps": len(requests) / wall if wall else 0.0,
+        "p50_ms": summary["p50"],
+        "p99_ms": summary["p99"],
+        "max_ms": summary["max"],
+        "mean_ms": summary["mean"],
+        "cached": cached_counts,
+        "_payloads": payloads,  # stripped before JSON emission
+    }
+
+
+def run_serve_bench(
+    programs: int = 14,
+    repeats: int = 5,
+    jobs: int = 1,
+    seed: int = 0,
+    cache_dir: str | None = None,
+) -> dict:
+    """The full cold/warm experiment; writes ``BENCH_serve.json``."""
+    own_dir = cache_dir is None
+    root = cache_dir or tempfile.mkdtemp(prefix="repro-serve-bench-")
+    try:
+        uniques = _requests(programs, 1, seed)
+        stream = _requests(programs, repeats, seed)
+
+        with PlanService(cache_dir=root, jobs=jobs) as svc:
+            cold = _phase(svc, uniques)
+            assert cold["cached"].get("cold", 0) == programs, (
+                "cold phase must miss on every unique program: "
+                f"{cold['cached']}"
+            )
+
+        # A fresh service on the same directory: the warm phase goes
+        # through warm start, proving persistence across instances.
+        with PlanService(cache_dir=root, jobs=jobs) as svc:
+            warm = _phase(svc, stream)
+            assert warm["cached"].get("plan", 0) == len(stream), (
+                f"warm phase must hit the plan cache: {warm['cached']}"
+            )
+            cache_stats = svc.stats()["cache"]
+
+        identical = all(
+            warm["_payloads"][name] == blob
+            for name, blob in cold["_payloads"].items()
+        )
+        assert identical, "cache-hit payloads differ from cold payloads"
+
+        speedup_p50 = (
+            cold["p50_ms"] / warm["p50_ms"] if warm["p50_ms"] else float("inf")
+        )
+        out = {
+            "schema": SERVE_BENCH_SCHEMA,
+            "programs": programs,
+            "repeats": repeats,
+            "jobs": jobs,
+            "seed": seed,
+            "speedup_floor": SERVE_SPEEDUP_FLOOR,
+            "cold": {k: v for k, v in cold.items() if k != "_payloads"},
+            "warm": {k: v for k, v in warm.items() if k != "_payloads"},
+            "speedup_p50": speedup_p50,
+            "speedup_p99": (
+                cold["p99_ms"] / warm["p99_ms"]
+                if warm["p99_ms"]
+                else float("inf")
+            ),
+            "plans_identical": identical,
+            "cache": cache_stats,
+        }
+        assert speedup_p50 >= SERVE_SPEEDUP_FLOOR, (
+            f"warm p50 only {speedup_p50:.1f}x lower than cold "
+            f"(floor {SERVE_SPEEDUP_FLOOR:.0f}x)"
+        )
+        atomic_write_json(SERVE_JSON, out)
+        return out
+    finally:
+        if own_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def test_serve_cold_vs_warm_gate(benchmark, report):
+    stats = benchmark.pedantic(run_serve_bench, rounds=1, iterations=1)
+    rows = [
+        (
+            phase,
+            str(stats[phase]["requests"]),
+            f"{stats[phase]['throughput_rps']:.0f}/s",
+            f"{stats[phase]['p50_ms']:.3f}ms",
+            f"{stats[phase]['p99_ms']:.3f}ms",
+        )
+        for phase in ("cold", "warm")
+    ]
+    rows.append(
+        (
+            "SPEEDUP",
+            "",
+            "",
+            f"{stats['speedup_p50']:.1f}x",
+            f"{stats['speedup_p99']:.1f}x",
+        )
+    )
+    report.table(
+        format_table(
+            ["phase", "requests", "throughput", "p50", "p99"],
+            rows,
+            title=(
+                "Serve cache: cold vs warm "
+                f"(gate: >={SERVE_SPEEDUP_FLOOR:.0f}x p50, identical plans)"
+            ),
+        )
+    )
+    assert stats["plans_identical"]
+    assert stats["speedup_p50"] >= SERVE_SPEEDUP_FLOOR
+    assert os.path.exists(SERVE_JSON)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", metavar="OUT", help="also write results to OUT")
+    ap.add_argument("--programs", type=int, default=14)
+    ap.add_argument("--repeats", type=int, default=5)
+    ap.add_argument("--jobs", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+    stats = run_serve_bench(
+        programs=args.programs,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    print(json.dumps(stats, indent=2))
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        atomic_write_json(args.json, stats)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

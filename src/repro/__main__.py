@@ -57,6 +57,7 @@ import json
 import os
 import sys
 
+from ._io import atomic_write_json
 from .adg import to_dot
 from .align import ALGORITHMS
 from .lang import parse
@@ -118,8 +119,9 @@ def _run_batch(args, align_kw: dict) -> int:
     )
     print(report.render())
     if args.batch_json:
-        with open(args.batch_json, "w") as f:
-            json.dump(report.to_json(), f, indent=2)
+        # Atomic (temp file + os.replace): a crash mid-write must never
+        # leave a truncated JSON where CI expects a parseable report.
+        atomic_write_json(args.batch_json, report.to_json())
         print(f"batch report written to {args.batch_json}")
     if args.trace_out:
         from .obs import write_chrome_trace

@@ -1,0 +1,55 @@
+"""Crash-safe file writes, shared by every report/cache emitter.
+
+A plain ``json.dump`` (or ``pickle.dump``) to an open destination file
+leaves a truncated, unparseable artifact if the process dies mid-write —
+which matters once files outlive the process that wrote them: batch
+report JSONs consumed by CI, Chrome traces opened in Perfetto, and
+above all the persistent plan cache of :mod:`repro.serve`, whose whole
+contract is that a killed daemon never leaves a corrupt entry behind.
+
+The pattern here is the standard one: write the full payload to a
+temporary file *in the same directory* (same filesystem, so the final
+rename cannot degrade to a copy), fsync it, then :func:`os.replace` it
+over the destination — atomic on POSIX and Windows alike.  Readers
+therefore see either the old content or the new content, never a
+prefix of the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix="~")
+    try:
+        with os.fdopen(fd, "wb") as f:
+            f.write(data)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomic text-mode companion to :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def atomic_write_json(path: str, obj: Any, indent: int | None = 2) -> None:
+    """Serialize ``obj`` as JSON and write it atomically.
+
+    Serialization happens *before* any file is touched, so a
+    non-serializable object cannot clobber an existing artifact either.
+    """
+    atomic_write_text(path, json.dumps(obj, indent=indent))

@@ -28,16 +28,20 @@ from .engine import (
     BatchReport,
     PlanRequest,
     PlanResult,
+    machine_label,
     plan_many,
     plan_one,
     plan_sweep,
+    prefix_context,
 )
 
 __all__ = [
     "BatchReport",
     "PlanRequest",
     "PlanResult",
+    "machine_label",
     "plan_many",
     "plan_one",
     "plan_sweep",
+    "prefix_context",
 ]

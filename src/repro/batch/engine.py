@@ -560,26 +560,42 @@ def _normalize_machine(m: Machine) -> tuple[Optional[int], Optional[str]]:
     )
 
 
-def _machine_label(nprocs: Optional[int], spec: Optional[str]) -> str:
+def machine_label(nprocs: Optional[int], spec: Optional[str]) -> str:
+    """The one-line machine tag used across batch and serve reports
+    (``"torus:4x4/P16"``, ``"P8"``, ``"ring:8"``)."""
     if spec is not None and nprocs is not None:
         return f"{spec}/P{nprocs}"
     return spec if spec is not None else f"P{nprocs}"
+
+
+_machine_label = machine_label
+
+
+def prefix_context(request: PlanRequest, align_kw: Mapping | None = None):
+    """Parse one request and run the machine-independent pipeline prefix.
+
+    The shared cold-path kernel: :func:`plan_sweep` stage 1 runs it in
+    pool workers, and the :mod:`repro.serve` daemon shards cache misses
+    through it — the returned :class:`~repro.passes.PlanContext` is
+    exactly what the persistent prefix cache pickles.
+    """
+    from ..align.pipeline import plan_context
+    from ..passes import Pipeline
+
+    program = parse(request.source, name=request.name)
+    ctx = plan_context(program, **dict(align_kw or {}))
+    Pipeline().run(ctx, goal="profile")
+    return ctx
 
 
 def _prefix_worker(payload: tuple):
     """Stage 1: run the machine-independent pipeline prefix for one
     program; the returned PlanContext crosses the pool boundary (so
     does the prefix's trace recorder, when the sweep is traced)."""
-    from ..align.pipeline import plan_context
-    from ..passes import Pipeline
-
     request, align_kw, trace = payload
 
     def run():
-        program = parse(request.source, name=request.name)
-        ctx = plan_context(program, **align_kw)
-        Pipeline().run(ctx, goal="profile")
-        return ctx
+        return prefix_context(request, align_kw)
 
     try:
         if trace:

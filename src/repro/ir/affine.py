@@ -230,6 +230,15 @@ class AffineForm:
 
     # -- equality, hashing, display ----------------------------------------
 
+    def __content_key__(self) -> tuple:
+        """Structural content for :mod:`repro.passes` fingerprinting: an
+        AffineForm is fully determined by its constant and coefficient
+        map (the evaluation memo is excluded — it is state, not content).
+        Without this, every AST containing an affine form would degrade
+        to an identity fingerprint and fall out of the persistent plan
+        cache of :mod:`repro.serve`."""
+        return (self._const, self._coeffs)
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, (int, Fraction)):
             return self.is_constant and self._const == other

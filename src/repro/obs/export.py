@@ -76,8 +76,11 @@ def to_chrome(recorder: TraceRecorder) -> dict:
 
 
 def write_chrome_trace(path: str, recorder: TraceRecorder) -> None:
-    with open(path, "w") as f:
-        json.dump(to_chrome(recorder), f, indent=1)
+    # Atomic: a run killed mid-export must not leave a truncated trace
+    # where Perfetto (or repro.obs.check in CI) expects valid JSON.
+    from .._io import atomic_write_json
+
+    atomic_write_json(path, to_chrome(recorder), indent=1)
 
 
 def to_json(recorder: TraceRecorder) -> dict:

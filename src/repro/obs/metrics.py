@@ -93,11 +93,24 @@ class Histogram:
             self.buckets[i] = self.buckets.get(i, 0) + n
 
     def percentile(self, q: float) -> float:
-        """The value at quantile ``q`` in [0, 1], bucket-resolution."""
+        """The value at quantile ``q`` in [0, 1], bucket-resolution.
+
+        Edge cases are defined, not accidental — serve-side p50/p99
+        reporting reads these without guards:
+
+        * an **empty** histogram returns ``0.0`` for every ``q``;
+        * an **all-zeros** histogram (zeros live outside ``buckets``)
+          returns ``0.0`` for every ``q`` — the zeros mass is counted,
+          never skipped;
+        * ``q == 0`` returns the observed minimum (``0.0`` only when a
+          zero was actually observed), instead of inventing a zero.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q} outside [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return 0.0 if self.zeros else self.min
         target = q * self.count
         seen = self.zeros
         if seen >= target:
@@ -113,8 +126,20 @@ class Histogram:
         return self.max
 
     def summary(self) -> dict:
+        """JSON-ready summary; always the full schema, so consumers can
+        read ``p50``/``p99`` off an empty histogram without KeyErrors
+        (all-zero values, ``count`` 0 — still falsy for render guards)."""
         if self.count == 0:
-            return {"count": 0}
+            return {
+                "count": 0,
+                "sum": 0.0,
+                "mean": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "p50": 0.0,
+                "p90": 0.0,
+                "p99": 0.0,
+            }
         return {
             "count": self.count,
             "sum": self.total,

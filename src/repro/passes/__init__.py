@@ -43,6 +43,7 @@ from .core import (
     Pipeline,
     PipelineError,
     PlanContext,
+    content_fingerprint,
     trace_table,
 )
 from .distrib_passes import (
@@ -76,6 +77,7 @@ __all__ = [
     "ReplicationFixpointPass",
     "TypecheckPass",
     "alignment_passes",
+    "content_fingerprint",
     "default_passes",
     "trace_table",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import time
+import uuid
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
@@ -98,12 +99,14 @@ def _stable_repr(value: Any, budget: list[int]) -> str:
     """A canonical string for values whose *content* fully determines it.
 
     Only structurally transparent values qualify: primitives, containers
-    of such values, and frozen dataclasses (``MachineSpec``,
-    ``AlignOptions``, ``LIV``, ...).  Everything else — in particular
-    objects with summary-style reprs like ``<ADG main: 4 nodes...>``,
-    which do not distinguish distinct contents — raises
-    :class:`_NotContentAddressable` so the fingerprint falls back to
-    store-version identity, which never spuriously matches.
+    of such values, frozen dataclasses (``MachineSpec``,
+    ``AlignOptions``, ``LIV``, ...), and immutable classes exposing a
+    ``__content_key__()`` of such values (``AffineForm``).  Everything
+    else — in particular objects with summary-style reprs like
+    ``<ADG main: 4 nodes...>``, which do not distinguish distinct
+    contents — raises :class:`_NotContentAddressable` so the fingerprint
+    falls back to store-version identity, which never spuriously
+    matches.
     """
     budget[0] -= 1
     if budget[0] < 0:
@@ -132,18 +135,53 @@ def _stable_repr(value: Any, budget: list[int]) -> str:
             for f in dataclasses.fields(value)
         )
         return f"{type(value).__qualname__}({fields})"
+    key_fn = getattr(value, "__content_key__", None)
+    if key_fn is not None:
+        # Immutable non-dataclass values opt in by returning the
+        # structural content that fully determines them.
+        return f"{type(value).__qualname__}<{_stable_repr(key_fn(), budget)}>"
     raise _NotContentAddressable
 
 
-def _fingerprint(value: Any, version: int) -> str:
-    """A short content fingerprint for content-addressable values; an
-    identity fingerprint (tied to the store version) for everything else."""
+def content_fingerprint(value: Any) -> Optional[str]:
+    """A short content fingerprint, or ``None`` when the value is not
+    content-addressable (opaque objects, over-budget containers).
+
+    This is the public face of the fingerprinting scheme: two values
+    with the same fingerprint have the same canonical content, across
+    processes and machines.  Persistent caches (:mod:`repro.serve`) key
+    on exactly these — a ``None`` here must never become a cache key.
+    """
     try:
         r = _stable_repr(value, [_FINGERPRINT_BUDGET])
     except Exception:  # noqa: BLE001 - fingerprinting must never fail
-        return f"v{version}"
+        return None
     digest = hashlib.sha1(f"{type(value).__name__}|{r}".encode()).hexdigest()
     return digest[:12]
+
+
+def _fresh_nonce() -> str:
+    """A per-context nonce namespacing identity fingerprints.
+
+    Identity fingerprints used to be ``f"v{version}"`` — unique only
+    within one context's store clock.  Two contexts (two forks of the
+    same prefix, or two pool workers whose clocks advance in lockstep)
+    could therefore mint the *same* identity fingerprint for different
+    artifacts, which is fatal the moment fingerprints escape their
+    context and become cache keys.  The nonce makes an identity
+    fingerprint unique to the context instance that minted it.
+    """
+    return uuid.uuid4().hex[:10]
+
+
+def _fingerprint(value: Any, version: int, nonce: str = "") -> str:
+    """A short content fingerprint for content-addressable values; an
+    identity fingerprint (tied to the store version and the context
+    nonce) for everything else."""
+    digest = content_fingerprint(value)
+    if digest is not None:
+        return digest
+    return f"v{version}.{nonce}" if nonce else f"v{version}"
 
 
 @dataclass(frozen=True)
@@ -173,6 +211,11 @@ class PlanContext:
     def __init__(self) -> None:
         self._artifacts: dict[str, Artifact] = {}
         self._clock = 0
+        # Namespaces this context's identity fingerprints: forks and
+        # unpickled copies get their own, so "v3" minted here can never
+        # collide with "v3" minted by a sibling lineage (see
+        # :func:`_fresh_nonce`).
+        self._nonce = _fresh_nonce()
         # pass name -> {required key -> (version, fingerprint) at last run}
         self._ledger: dict[str, dict[str, tuple[int, str]]] = {}
         self.trace: list[dict] = []
@@ -182,7 +225,9 @@ class PlanContext:
 
     def put(self, key: str, value: Any) -> Artifact:
         self._clock += 1
-        art = Artifact(key, value, self._clock, _fingerprint(value, self._clock))
+        art = Artifact(
+            key, value, self._clock, _fingerprint(value, self._clock, self._nonce)
+        )
         self._artifacts[key] = art
         return art
 
@@ -240,6 +285,10 @@ class PlanContext:
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # An unpickled copy is a new lineage: its future puts must not
+        # mint the same identity fingerprints as the original's (both
+        # clocks continue from the same value in different processes).
+        self._nonce = _fresh_nonce()
 
     def __repr__(self) -> str:
         return f"<PlanContext {len(self._artifacts)} artifacts: {', '.join(self.keys())}>"

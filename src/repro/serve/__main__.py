@@ -1,0 +1,106 @@
+"""``python -m repro.serve`` — start the planning daemon.
+
+Usage::
+
+    python -m repro.serve [--host H] [--port P] [--cache-dir DIR]
+                          [--max-entries N] [--jobs J] [--max-pending N]
+                          [--retry-after S] [--distribute P]
+                          [--topology SPEC]
+
+``--cache-dir`` enables the persistent plan cache (omit it for a
+memory-only cache that dies with the process); restarting the daemon on
+the same directory warm-starts from the persisted entries.
+``--distribute`` / ``--topology`` set the *default* machine for
+requests that don't name one; per-request ``nprocs`` / ``topology``
+fields always win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from .daemon import run_daemon
+from .service import DEFAULT_NPROCS, PlanService
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running planning daemon (JSON lines over TCP)",
+    )
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument(
+        "--port", type=int, default=8723, help="0 picks an ephemeral port"
+    )
+    ap.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent plan-cache directory (default: memory-only)",
+    )
+    ap.add_argument(
+        "--max-entries",
+        type=int,
+        default=1024,
+        help="LRU bound per cache (default 1024)",
+    )
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cold misses (default 1: inline)",
+    )
+    ap.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission high-water mark; beyond it requests are "
+        "rejected with a retry_after hint (default 64)",
+    )
+    ap.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.05,
+        help="retry hint (seconds) sent with rejections (default 0.05)",
+    )
+    ap.add_argument(
+        "--distribute",
+        type=int,
+        metavar="P",
+        default=None,
+        help=f"default processor count (default {DEFAULT_NPROCS})",
+    )
+    ap.add_argument(
+        "--topology",
+        metavar="SPEC",
+        help="default machine topology spec (e.g. torus:4x4)",
+    )
+    args = ap.parse_args(argv)
+    if args.topology is not None:
+        from ..topology import parse_topology
+
+        try:
+            parse_topology(args.topology)
+        except ValueError as exc:
+            ap.error(f"--topology: {exc}")
+
+    service = PlanService(
+        cache_dir=args.cache_dir,
+        max_entries=args.max_entries,
+        jobs=args.jobs,
+        max_pending=args.max_pending,
+        retry_after=args.retry_after,
+        default_nprocs=args.distribute,
+        default_topology=args.topology,
+    )
+    try:
+        asyncio.run(run_daemon(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""The asyncio front end: a JSON-lines planning daemon over TCP.
+
+Protocol — one JSON object per line, one response line per request::
+
+    → {"op": "plan", "name": "q1", "source": "real A(8)\\n...", "nprocs": 4,
+       "topology": "torus:2x2"}
+    ← {"name": "q1", "status": "ok", "cached": "plan", "seconds": 0.0007,
+       "plan": {"total_cost": "12", "distribution": "...", ...}}
+
+    → {"op": "stats"}
+    ← {"status": "ok", "stats": {...}}          # cache + counters + latency
+
+    → {"op": "ping"}
+    ← {"status": "ok", "pong": true}
+
+``op`` defaults to ``"plan"``.  Malformed JSON or a missing ``source``
+yields ``{"status": "error", ...}`` on that line; the connection stays
+open.  Past the admission high-water mark the daemon answers
+``{"status": "rejected", "retry_after": ...}`` immediately — clients
+should back off and retry — rather than queueing without bound.
+
+Admission runs in the event loop (cheap, bounded); planning runs in the
+service's thread pool, and cold misses are sharded from there to the
+worker-process pool (``--jobs``).  Repeat queries are answered from the
+persistent fingerprint-keyed cache (``--cache-dir``), which survives
+daemon restarts by construction: warm-start re-indexes the directory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from .service import PlanService, ServeRequest
+
+
+class PlanDaemon:
+    """Wraps a :class:`PlanService` in an asyncio stream server."""
+
+    def __init__(
+        self,
+        service: PlanService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0`` (ephemeral)."""
+        assert self._server is not None, "daemon not started"
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or an ``{"op": "shutdown"}`` line)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+        self.service.close()
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                if response.get("op") == "shutdown":
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            msg = json.loads(line)
+            if not isinstance(msg, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"status": "error", "error": f"bad request: {exc}"}
+        op = msg.get("op", "plan")
+        if op == "ping":
+            return {"status": "ok", "pong": True}
+        if op == "stats":
+            return {"status": "ok", "stats": self.service.stats()}
+        if op == "shutdown":
+            self.shutdown()
+            return {"status": "ok", "op": "shutdown"}
+        if op != "plan":
+            return {"status": "error", "error": f"unknown op {op!r}"}
+        source = msg.get("source")
+        if not isinstance(source, str) or not source.strip():
+            return {"status": "error", "error": "plan request needs 'source'"}
+        request = ServeRequest(
+            name=str(msg.get("name", "request")),
+            source=source,
+            nprocs=msg.get("nprocs"),
+            topology=msg.get("topology"),
+        )
+        response = await self.service.handle_async(request)
+        out = response.to_json()
+        if "id" in msg:
+            out["id"] = msg["id"]
+        return out
+
+
+async def run_daemon(
+    service: PlanService, host: str = "127.0.0.1", port: int = 8723
+) -> None:
+    daemon = PlanDaemon(service, host=host, port=port)
+    await daemon.start()
+    bound_host, bound_port = daemon.address
+    print(f"repro.serve listening on {bound_host}:{bound_port}", flush=True)
+    await daemon.serve_forever()

@@ -1,0 +1,436 @@
+"""The planning service: admission → cache probe → plan → respond.
+
+:class:`PlanService` is the in-process engine behind the
+``python -m repro.serve`` daemon and the unit the tests drive directly.
+One request is one program source plus a target machine; the response
+is the planned distribution payload, annotated with how it was
+produced:
+
+* ``cached="plan"`` — answered entirely from the persistent plan cache
+  (key: program, align-options and machine content fingerprints);
+* ``cached="prefix"`` — the machine-independent pipeline prefix came
+  from the cache and only the distribution suffix ran;
+* ``cached=None`` — a cold miss: the full pipeline ran, sharded to the
+  worker-process pool when the service has one (``jobs > 1``, reusing
+  the :mod:`repro.batch` cold-path kernel), and both cache namespaces
+  were populated for the next request.
+
+Admission applies bounded backpressure: past ``max_pending``
+concurrently admitted requests the service answers
+``status="rejected"`` with a ``retry_after`` hint instead of queueing
+without bound.  Every stage is wrapped in :mod:`repro.obs` spans
+(``serve.request`` → ``serve.admit`` / ``serve.cache`` / ``serve.plan``
+/ ``serve.respond``) and feeds the typed metric registry
+(``serve.requests``, ``serve.hits.plan``, ``serve.hits.prefix``,
+``serve.misses``, ``serve.rejected``; latency histograms
+``serve.warm_ms`` / ``serve.cold_ms``).
+
+Cache-correctness discipline: payloads are keyed only by *content*
+fingerprints.  If any fingerprint in the chain degrades to an identity
+fingerprint (opaque or over-budget value), the request is planned
+normally but never persisted — :class:`~repro.serve.cache.PlanCache`
+would refuse the store, and the service counts it as
+``serve.uncacheable`` instead of risking a cross-context collision.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..obs import spans as obs
+from ..obs.metrics import registry
+from .cache import MISS, PlanCache
+
+#: Default target machine when a request names neither nprocs nor topology.
+DEFAULT_NPROCS = 4
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One plan query: a named program source and a target machine."""
+
+    name: str
+    source: str
+    nprocs: Optional[int] = None
+    topology: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """The service's answer; ``status`` is ``ok``/``rejected``/``error``."""
+
+    name: str
+    status: str
+    cached: Optional[str] = None  # "plan" | "prefix" | None (cold)
+    seconds: float = 0.0
+    plan: Optional[Mapping[str, Any]] = None
+    error: Optional[str] = None
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "status": self.status,
+            "cached": self.cached,
+            "seconds": self.seconds,
+        }
+        if self.plan is not None:
+            out["plan"] = dict(self.plan)
+        if self.error is not None:
+            out["error"] = self.error
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        return out
+
+
+def _payload(name: str, label: str, sub) -> dict:
+    """The canonical plan payload for one solved context.
+
+    Built identically on every path (inline cold, pooled cold, prefix
+    hit), with deterministic field and alignment ordering — a cache-hit
+    payload must be *byte-identical* (pickled) to the cold payload it
+    was stored from, and the serve benchmark asserts exactly that.
+    """
+    plan = sub.get("plan")
+    dplan = sub.get("distribution")
+    return {
+        "name": name,
+        "machine": label,
+        "total_cost": str(sub.get("total_cost")),
+        "alignments": {
+            arr: repr(al)
+            for arr, al in sorted(plan.source_alignments().items())
+        },
+        "distribution": dplan.directive(),
+        "hops": dplan.cost.hops,
+        "moved": dplan.cost.moved,
+        "exact": dplan.exact,
+    }
+
+
+def _run_suffix(ctx, machine, name: str, label: str) -> dict:
+    """Fork a machine-independent prefix and run the distribution suffix."""
+    from ..passes import Pipeline
+
+    sub = ctx.fork()
+    sub.put("machine", machine)
+    Pipeline().run(sub, goal=("plan", "distribution"))
+    return _payload(name, label, sub)
+
+
+def _cold_worker(payload: tuple):
+    """The sharded cold path: full pipeline for one (program, machine).
+
+    Module-level so it pickles into the worker-process pool; reuses the
+    :func:`repro.batch.prefix_context` kernel, then prices the machine
+    suffix on a fork.  Returns the prefix context (for the prefix
+    cache) alongside the plan payload.
+    """
+    from ..batch.engine import PlanRequest, prefix_context
+
+    name, source, align_kw, machine, label = payload
+    ctx = prefix_context(PlanRequest(name, source), align_kw)
+    return ctx, _run_suffix(ctx, machine, name, label)
+
+
+class PlanService:
+    """In-process planning service with a persistent fingerprint cache.
+
+    Thread-safe: the daemon drives :meth:`handle` from a thread pool;
+    admission, cache, and metrics updates are internally locked.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        max_entries: int = 1024,
+        jobs: int = 1,
+        max_pending: int = 64,
+        retry_after: float = 0.05,
+        align_kw: Mapping | None = None,
+        distrib_options: Mapping | None = None,
+        default_nprocs: Optional[int] = None,
+        default_topology: Optional[str] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.cache = PlanCache(cache_dir, max_entries=max_entries)
+        self.jobs = max(1, jobs)
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+        self.align_kw = dict(align_kw or {})
+        self.distrib_options = dict(distrib_options or {})
+        # Service-wide machine defaults for requests naming neither
+        # nprocs nor topology; per-request fields always win.
+        self.default_nprocs = default_nprocs
+        self.default_topology = default_topology
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_broken = False
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # -- admission / backpressure ------------------------------------------
+
+    def try_admit(self) -> bool:
+        """Admit one request unless the high-water mark is reached.
+
+        Callers that admit must :meth:`release` — the daemon does this
+        around the executor dispatch so queue depth is bounded *before*
+        work is enqueued, which is the whole point of backpressure.
+        """
+        with self._lock:
+            if self._pending >= self.max_pending:
+                registry().counter("serve.rejected").inc()
+                return False
+            self._pending += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def _rejected(self, request: ServeRequest) -> ServeResponse:
+        return ServeResponse(
+            name=request.name,
+            status="rejected",
+            retry_after=self.retry_after,
+        )
+
+    # -- the request path --------------------------------------------------
+
+    def handle(self, request: ServeRequest) -> ServeResponse:
+        """Admission-checked synchronous entry point; never raises."""
+        if not self.try_admit():
+            return self._rejected(request)
+        try:
+            return self.handle_admitted(request)
+        finally:
+            self.release()
+
+    def handle_admitted(self, request: ServeRequest) -> ServeResponse:
+        """The post-admission pipeline: cache probe → plan → respond."""
+        from ..batch.engine import machine_label
+        from ..passes import MachineSpec, content_fingerprint
+
+        reg = registry()
+        reg.counter("serve.requests").inc()
+        t0 = time.perf_counter()
+        with obs.span("serve.request", program=request.name):
+            try:
+                with obs.span("serve.admit", kind="serve"):
+                    nprocs, topology = request.nprocs, request.topology
+                    if nprocs is None and topology is None:
+                        nprocs = self.default_nprocs
+                        topology = self.default_topology
+                    if nprocs is None and topology is None:
+                        nprocs = DEFAULT_NPROCS
+                    machine = MachineSpec.of(
+                        nprocs,
+                        topology=topology,
+                        **self.distrib_options,
+                    )
+                    # Fail fast on an unplannable machine (bad spec, no
+                    # processor count) before any planning work.
+                    machine.resolved_nprocs()
+                    label = machine_label(nprocs, topology)
+                    from ..align.pipeline import plan_context
+                    from ..lang.parser import parse
+
+                    program = parse(request.source, name=request.name)
+                    ctx = plan_context(program, **self.align_kw)
+                    pfp = ctx.artifact("program").fingerprint
+                    afp = ctx.artifact("align_options").fingerprint
+                    mfp = content_fingerprint(machine)
+
+                cacheable = (
+                    mfp is not None
+                    and not pfp.startswith("v")
+                    and not afp.startswith("v")
+                )
+                if not cacheable:
+                    reg.counter("serve.uncacheable").inc()
+
+                cached: Optional[str] = None
+                payload: Optional[dict] = None
+                with obs.span("serve.cache", kind="serve"):
+                    if cacheable:
+                        hit = self.cache.get("plan", (pfp, afp, mfp))
+                        if hit is not MISS:
+                            cached, payload = "plan", hit
+
+                if payload is None:
+                    prefix = MISS
+                    if cacheable:
+                        prefix = self.cache.get("prefix", (pfp, afp))
+                    with obs.span("serve.plan", kind="serve"):
+                        if prefix is not MISS:
+                            cached = "prefix"
+                            payload = _run_suffix(
+                                prefix, machine, request.name, label
+                            )
+                        else:
+                            prefix, payload = self._plan_cold(
+                                request, ctx, machine, label
+                            )
+                    if cacheable:
+                        if cached is None:
+                            self.cache.put("prefix", (pfp, afp), prefix)
+                        self.cache.put("plan", (pfp, afp, mfp), payload)
+
+                with obs.span("serve.respond", kind="serve"):
+                    seconds = time.perf_counter() - t0
+                    if cached == "plan":
+                        reg.counter("serve.hits.plan").inc()
+                        reg.histogram("serve.warm_ms").observe(seconds * 1e3)
+                    else:
+                        if cached == "prefix":
+                            reg.counter("serve.hits.prefix").inc()
+                        else:
+                            reg.counter("serve.misses").inc()
+                        reg.histogram("serve.cold_ms").observe(seconds * 1e3)
+                    return ServeResponse(
+                        name=request.name,
+                        status="ok",
+                        cached=cached,
+                        seconds=seconds,
+                        plan=payload,
+                    )
+            except Exception as exc:  # noqa: BLE001 - responses, not crashes
+                reg.counter("serve.errors").inc()
+                return ServeResponse(
+                    name=request.name,
+                    status="error",
+                    seconds=time.perf_counter() - t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def _plan_cold(self, request: ServeRequest, ctx, machine, label: str):
+        """Full-pipeline cold path, sharded to the worker pool if any.
+
+        Returns ``(prefix_context, payload)``.  A broken pool degrades
+        to inline planning permanently (same results, no concurrency),
+        mirroring :func:`repro.batch.plan_many`'s serial fallback.
+        """
+        from ..passes import Pipeline
+
+        payload_tuple = (
+            request.name,
+            request.source,
+            self.align_kw,
+            machine,
+            label,
+        )
+        pool = self._worker_pool()
+        if pool is not None:
+            try:
+                return pool.submit(_cold_worker, payload_tuple).result()
+            except (OSError, RuntimeError) as exc:
+                with self._lock:
+                    self._pool_broken = True
+                registry().counter("serve.pool_fallbacks").inc()
+                obs.instant("serve.pool_fallback", error=type(exc).__name__)
+        # Inline: reuse the already-parsed context for the prefix.
+        Pipeline().run(ctx, goal="profile")
+        return ctx, _run_suffix(ctx, machine, request.name, label)
+
+    def _worker_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.jobs <= 1:
+            return None
+        with self._lock:
+            if self._pool_broken:
+                return None
+            if self._pool is None:
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                except (OSError, ValueError, RuntimeError):
+                    self._pool_broken = True
+                    return None
+            return self._pool
+
+    # -- async front -------------------------------------------------------
+
+    async def handle_async(self, request: ServeRequest) -> ServeResponse:
+        """Asyncio entry point: admission in the event loop (bounded
+        *before* enqueueing), planning in the service's thread pool."""
+        if not self.try_admit():
+            return self._rejected(request)
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._thread_pool(), self.handle_admitted, request
+            )
+        finally:
+            self.release()
+
+    def _thread_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._threads is None:
+                self._threads = ThreadPoolExecutor(
+                    max_workers=max(2, self.jobs),
+                    thread_name_prefix="repro-serve",
+                )
+            return self._threads
+
+    # -- introspection / lifecycle -----------------------------------------
+
+    def stats(self) -> dict:
+        """Service + cache counters, JSON-ready (the daemon's ``stats`` op)."""
+        reg = registry()
+        counters = {
+            name: reg.counter(name).value
+            for name in (
+                "serve.requests",
+                "serve.hits.plan",
+                "serve.hits.prefix",
+                "serve.misses",
+                "serve.rejected",
+                "serve.errors",
+                "serve.uncacheable",
+                "serve.pool_fallbacks",
+            )
+        }
+        return {
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "jobs": self.jobs,
+            "cache_dir": self.cache.root,
+            "cache_entries": len(self.cache),
+            "cache": self.cache.stats.as_dict(),
+            "counters": counters,
+            "latency": {
+                "warm_ms": reg.histogram("serve.warm_ms").summary(),
+                "cold_ms": reg.histogram("serve.cold_ms").summary(),
+            },
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            threads, self._threads = self._threads, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if threads is not None:
+            threads.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

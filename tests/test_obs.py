@@ -218,8 +218,43 @@ class TestMetrics:
     def test_latency_summary_groups(self):
         out = latency_summary({"fam": [0.1, 0.2], "other": []}, unit=1e3)
         assert out["fam"]["count"] == 2
-        assert out["other"] == {"count": 0}
+        # Empty groups still carry the full summary schema (count 0 is
+        # falsy for render guards), so p50/p99 reads never KeyError.
+        assert out["other"]["count"] == 0
+        assert out["other"]["p50"] == 0.0 and out["other"]["p99"] == 0.0
         assert 80 <= out["fam"]["p50"] <= 250
+
+    def test_histogram_empty_percentiles_defined(self):
+        h = Histogram("empty")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.0
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["p50"] == s["p99"] == 0.0
+        assert s["min"] == s["max"] == 0.0 and s["mean"] == 0.0
+
+    def test_histogram_all_zeros_mass_counted(self):
+        # Zeros live outside `buckets`; percentiles must not skip them
+        # (nor divide by zero through an empty bucket walk).
+        h = Histogram("zeros")
+        for _ in range(5):
+            h.observe(0.0)
+        assert h.buckets == {} and h.zeros == 5
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 0.0
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["p50"] == s["p90"] == s["p99"] == 0.0
+        assert s["min"] == 0.0 and s["max"] == 0.0
+
+    def test_histogram_p0_is_min_without_zeros(self):
+        h = Histogram("nz")
+        h.observe(3.0)
+        h.observe(7.0)
+        # q=0 reports the observed minimum, not an invented zero.
+        assert h.percentile(0.0) == 3.0
+        h.observe(0.0)
+        assert h.percentile(0.0) == 0.0
 
 
 # -- export + checker ---------------------------------------------------------

@@ -1,0 +1,435 @@
+"""The serving layer: persistent plan cache, service, daemon, nonces.
+
+Covers :mod:`repro.serve` end to end — the fingerprint-keyed
+:class:`PlanCache` (round trips, LRU eviction, warm start across a
+fresh process, schema-version invalidation, atomic-write hygiene, the
+refusal of non-content-addressed key chains), the in-process
+:class:`PlanService` (cold/warm/prefix paths with byte-identical
+payloads for every generator family, backpressure, error responses),
+the asyncio daemon protocol, and the fingerprint-nonce bugfix in
+:mod:`repro.passes` that makes identity fingerprints safe to exist
+alongside a persistent cache at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.metrics import registry
+from repro.passes import PlanContext, content_fingerprint
+from repro.serve import (
+    MISS,
+    SCHEMA_VERSION,
+    NonContentAddressedKeyError,
+    PlanCache,
+    PlanDaemon,
+    PlanService,
+    ServeRequest,
+)
+
+SRC = """
+real A(64), B(64)
+A(1:63) = A(1:63) + B(2:64)
+"""
+
+SRC2 = """
+real C(32), D(32)
+C(1:32) = C(1:32) + D(1:32)
+"""
+
+
+def _counter(name: str) -> int:
+    return registry().counter(name).value
+
+
+# -- PlanCache: key discipline -------------------------------------------------
+
+
+class TestCacheKeys:
+    def test_round_trip_memory(self):
+        cache = PlanCache()
+        assert cache.get("plan", ("abc123",)) is MISS
+        cache.put("plan", ("abc123",), {"x": 1})
+        assert cache.get("plan", ("abc123",)) == {"x": 1}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_none_payload_distinct_from_miss(self):
+        cache = PlanCache()
+        cache.put("plan", ("abc123",), None)
+        assert cache.get("plan", ("abc123",)) is None
+
+    def test_identity_fingerprints_refused(self):
+        # "v<clock>.<nonce>" chains are lineage-local; a persistent
+        # cache keyed on one would serve artifact A to requester B.
+        cache = PlanCache()
+        for bad in ("v3", "v3.ab12cd34ef"):
+            with pytest.raises(NonContentAddressedKeyError) as ei:
+                cache.put("plan", ("abc123", bad), {"x": 1})
+            assert ei.value.part == bad
+            with pytest.raises(NonContentAddressedKeyError):
+                cache.get("plan", ("abc123", bad))
+
+    def test_bad_namespace_and_empty_key_rejected(self):
+        cache = PlanCache()
+        with pytest.raises(ValueError, match="unknown cache namespace"):
+            cache.put("nope", ("abc123",), 1)
+        with pytest.raises(ValueError, match="must not be empty"):
+            cache.put("plan", (), 1)
+        with pytest.raises(ValueError, match="not a fingerprint"):
+            cache.put("plan", ("",), 1)
+
+    def test_namespaces_do_not_collide(self):
+        cache = PlanCache()
+        cache.put("prefix", ("abc123",), "p")
+        cache.put("plan", ("abc123",), "q")
+        assert cache.get("prefix", ("abc123",)) == "p"
+        assert cache.get("plan", ("abc123",)) == "q"
+
+
+class TestCacheLRU:
+    def test_eviction_past_bound(self):
+        cache = PlanCache(max_entries=2)
+        cache.put("plan", ("a1",), 1)
+        cache.put("plan", ("b2",), 2)
+        cache.get("plan", ("a1",))  # refresh a1 -> b2 is now LRU
+        cache.put("plan", ("c3",), 3)
+        assert cache.stats.evictions == 1
+        assert cache.get("plan", ("b2",)) is MISS
+        assert cache.get("plan", ("a1",)) == 1
+        assert cache.get("plan", ("c3",)) == 3
+
+    def test_bound_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanCache(max_entries=0)
+
+
+# -- PlanCache: persistence ----------------------------------------------------
+
+
+class TestCachePersistence:
+    def test_warm_start_hit(self, tmp_path):
+        root = str(tmp_path / "cache")
+        PlanCache(root).put("plan", ("abc123",), {"deep": [1, 2]})
+        fresh = PlanCache(root)
+        assert len(fresh) == 1
+        assert fresh.get("plan", ("abc123",)) == {"deep": [1, 2]}
+
+    def test_hit_across_a_fresh_process(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root, max_entries=2)
+        for key in ("a1", "b2", "c3"):  # persist, evict a1
+            cache.put("plan", (key,), f"payload-{key}")
+        assert cache.stats.evictions == 1
+        probe = (
+            "import sys; from repro.serve import PlanCache, MISS\n"
+            f"c = PlanCache({root!r})\n"
+            "assert c.get('plan', ('a1',)) is MISS  # evicted stays gone\n"
+            "assert c.get('plan', ('b2',)) == 'payload-b2'\n"
+            "assert c.get('plan', ('c3',)) == 'payload-c3'\n"
+            "print('cross-process-ok')\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep)
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", probe],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "cross-process-ok" in out.stdout
+
+    def test_schema_version_mismatch_invalidated(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root)
+        cache.put("plan", ("abc123",), "current")
+        (path,) = [
+            os.path.join(root, "plan", f)
+            for f in os.listdir(os.path.join(root, "plan"))
+        ]
+        entry = pickle.loads(open(path, "rb").read())
+        entry["schema"] = SCHEMA_VERSION + 1
+        with open(path, "wb") as f:
+            f.write(pickle.dumps(entry))
+        fresh = PlanCache(root)
+        assert fresh.get("plan", ("abc123",)) is MISS
+        assert fresh.stats.invalidated == 1
+        assert not os.path.exists(path)  # deleted, not left to re-fail
+
+    def test_truncated_entry_is_a_clean_miss(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root)
+        cache.put("plan", ("abc123",), list(range(100)))
+        (path,) = [
+            os.path.join(root, "plan", f)
+            for f in os.listdir(os.path.join(root, "plan"))
+        ]
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+        fresh = PlanCache(root)
+        assert fresh.get("plan", ("abc123",)) is MISS
+        assert fresh.stats.invalidated == 1
+        assert not os.path.exists(path)
+
+    def test_stray_tmp_files_swept_at_warm_start(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root)
+        cache.put("plan", ("abc123",), 1)
+        stray = os.path.join(root, "plan", ".tmp-killed-writer~")
+        with open(stray, "wb") as f:
+            f.write(b"partial")
+        fresh = PlanCache(root)
+        assert not os.path.exists(stray)
+        assert len(fresh) == 1  # the stray was not indexed as an entry
+
+    def test_warm_start_respects_shrunk_bound(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root, max_entries=8)
+        for i in range(5):
+            cache.put("plan", (f"k{i}",), i)
+        fresh = PlanCache(root, max_entries=2)
+        assert len(fresh) == 2
+        assert fresh.stats.evictions == 3
+
+    def test_clear_removes_files(self, tmp_path):
+        root = str(tmp_path / "cache")
+        cache = PlanCache(root)
+        cache.put("plan", ("abc123",), 1)
+        cache.put("prefix", ("abc123",), 2)
+        cache.clear()
+        assert len(cache) == 0
+        for ns in ("plan", "prefix"):
+            assert os.listdir(os.path.join(root, ns)) == []
+
+
+# -- fingerprint nonces (the satellite bugfix) ---------------------------------
+
+
+class TestFingerprintNonces:
+    def test_two_contexts_mint_distinct_identity_fingerprints(self):
+        # Before the fix both said "v1": same version clock, different
+        # lineages, colliding keys.  Now the per-context nonce splits them.
+        a, b = PlanContext(), PlanContext()
+        a.put("x", object())
+        b.put("x", object())
+        fa = a.artifact("x").fingerprint
+        fb = b.artifact("x").fingerprint
+        assert fa.startswith("v") and fb.startswith("v")
+        assert fa != fb
+        assert not a.artifact("x").content_addressed
+
+    def test_unpickled_context_refreshes_its_nonce(self):
+        ctx = PlanContext()
+        ctx.put("x", object())
+        clone = pickle.loads(pickle.dumps(ctx))
+        ctx.put("y", object())
+        clone.put("y", object())
+        assert (
+            ctx.artifact("y").fingerprint != clone.artifact("y").fingerprint
+        )
+
+    def test_affine_forms_are_content_addressable(self):
+        # The opt-in __content_key__ protocol: without it every AST
+        # containing an AffineForm degraded to identity fingerprints
+        # and fell out of the persistent cache.
+        from repro.ir.affine import AffineForm
+        from repro.ir.symbols import LIV
+
+        i = LIV("i", 1)
+        f1 = content_fingerprint(AffineForm(1, {i: 2}))
+        f2 = content_fingerprint(AffineForm(1, {i: 2}))
+        f3 = content_fingerprint(AffineForm(1, {i: 3}))
+        assert f1 is not None and f1 == f2 and f1 != f3
+
+    def test_generated_corpus_is_content_addressable(self):
+        # Every generator family must produce cacheable programs, or
+        # the serving cache silently degrades to a passthrough.
+        from repro.align.pipeline import plan_context
+        from repro.lang.generate import generate_corpus
+        from repro.lang.parser import parse
+
+        for scenario in generate_corpus(7, seed=0):
+            ctx = plan_context(parse(scenario.source, name=scenario.name))
+            art = ctx.artifact("program")
+            assert art.content_addressed, (
+                f"{scenario.family}: program fingerprint degraded to "
+                f"identity ({art.fingerprint})"
+            )
+
+
+# -- PlanService ---------------------------------------------------------------
+
+
+class TestPlanService:
+    def test_cold_then_plan_hit_then_prefix_hit(self):
+        with PlanService() as svc:
+            cold = svc.handle(ServeRequest("q", SRC, nprocs=4))
+            assert cold.ok and cold.cached is None
+            warm = svc.handle(ServeRequest("q", SRC, nprocs=4))
+            assert warm.ok and warm.cached == "plan"
+            # Same program, new machine: the machine-independent prefix
+            # is reused, only the distribution suffix runs.
+            other = svc.handle(ServeRequest("q", SRC, nprocs=8))
+            assert other.ok and other.cached == "prefix"
+            assert pickle.dumps(cold.plan) == pickle.dumps(warm.plan)
+            assert other.plan["machine"] != cold.plan["machine"]
+
+    def test_warm_hits_are_byte_identical_for_every_family(self, tmp_path):
+        from repro.lang.generate import generate_corpus
+
+        root = str(tmp_path / "cache")
+        corpus = generate_corpus(7, seed=3)  # one scenario per family
+        reqs = [ServeRequest(s.name, s.source, nprocs=4) for s in corpus]
+        with PlanService(cache_dir=root) as svc:
+            cold = {r.name: svc.handle(r) for r in reqs}
+        # A fresh instance on the same directory: every hit must come
+        # from disk and decode to byte-identical payloads.
+        with PlanService(cache_dir=root) as svc:
+            for req in reqs:
+                warm = svc.handle(req)
+                assert warm.cached == "plan", (req.name, warm.error)
+                assert pickle.dumps(warm.plan) == pickle.dumps(
+                    cold[req.name].plan
+                ), f"{req.name}: cache hit drifted from cold plan"
+
+    def test_default_machine_applied(self):
+        with PlanService(default_nprocs=6) as svc:
+            resp = svc.handle(ServeRequest("q", SRC))
+            assert resp.ok
+            assert "6" in resp.plan["machine"]
+
+    def test_error_response_not_exception(self):
+        with PlanService() as svc:
+            before = _counter("serve.errors")
+            resp = svc.handle(ServeRequest("bad", "real A(; nonsense"))
+            assert resp.status == "error" and not resp.ok
+            assert resp.plan is None and resp.error
+            assert _counter("serve.errors") == before + 1
+
+    def test_backpressure_rejects_past_high_water_mark(self):
+        with PlanService(max_pending=1, retry_after=0.25) as svc:
+            assert svc.try_admit()  # occupy the only slot
+            try:
+                before = _counter("serve.rejected")
+                resp = svc.handle(ServeRequest("q", SRC, nprocs=4))
+                assert resp.status == "rejected"
+                assert resp.retry_after == 0.25
+                assert resp.plan is None
+                assert _counter("serve.rejected") == before + 1
+            finally:
+                svc.release()
+            assert svc.handle(ServeRequest("q", SRC, nprocs=4)).ok
+
+    def test_uncacheable_requests_are_planned_but_not_stored(self, monkeypatch):
+        # Simulate a fingerprint chain degrading to identity: the
+        # request must still be answered, but nothing may be persisted.
+        import repro.passes as passes
+
+        monkeypatch.setattr(passes, "content_fingerprint", lambda v: None)
+        with PlanService() as svc:
+            before = _counter("serve.uncacheable")
+            a = svc.handle(ServeRequest("q", SRC, nprocs=4))
+            b = svc.handle(ServeRequest("q", SRC, nprocs=4))
+            assert a.ok and b.ok
+            assert b.cached is None  # no hit: nothing was stored
+            assert len(svc.cache) == 0
+            assert _counter("serve.uncacheable") == before + 2
+
+    def test_stats_shape(self):
+        with PlanService() as svc:
+            svc.handle(ServeRequest("q", SRC, nprocs=4))
+            stats = svc.stats()
+            assert stats["pending"] == 0
+            assert stats["cache_dir"] is None
+            assert stats["cache"]["stores"] == 2  # prefix + plan
+            assert "serve.requests" in stats["counters"]
+            assert set(stats["latency"]) == {"warm_ms", "cold_ms"}
+
+    def test_pooled_cold_path_matches_inline(self, tmp_path):
+        inline_dir = str(tmp_path / "inline")
+        pooled_dir = str(tmp_path / "pooled")
+        req = ServeRequest("q", SRC, nprocs=4)
+        with PlanService(cache_dir=inline_dir, jobs=1) as svc:
+            inline = svc.handle(req)
+        with PlanService(cache_dir=pooled_dir, jobs=2) as svc:
+            pooled = svc.handle(req)
+        assert inline.ok and pooled.ok
+        assert pickle.dumps(inline.plan) == pickle.dumps(pooled.plan)
+
+
+# -- the daemon ----------------------------------------------------------------
+
+
+class TestDaemon:
+    def _roundtrip(self, messages: list[dict]) -> list[dict]:
+        async def drive() -> list[dict]:
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            host, port = daemon.address
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(host, port)
+            replies = []
+            for msg in messages:
+                writer.write(json.dumps(msg).encode() + b"\n")
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            daemon.shutdown()
+            await server
+            return replies
+
+        return asyncio.run(drive())
+
+    def test_protocol_roundtrip(self):
+        replies = self._roundtrip(
+            [
+                {"op": "ping"},
+                {"op": "plan", "id": 7, "name": "q", "source": SRC, "nprocs": 4},
+                {"name": "q", "source": SRC, "nprocs": 4},  # op defaults
+                {"op": "stats"},
+                {"op": "plan", "name": "empty", "source": "   "},
+                {"op": "wat"},
+            ]
+        )
+        ping, cold, warm, stats, bad_source, bad_op = replies
+        assert ping == {"status": "ok", "pong": True}
+        assert cold["status"] == "ok" and cold["cached"] is None
+        assert cold["id"] == 7
+        assert warm["status"] == "ok" and warm["cached"] == "plan"
+        assert cold["plan"] == warm["plan"]
+        assert stats["stats"]["counters"]["serve.hits.plan"] >= 1
+        assert bad_source["status"] == "error"
+        assert "source" in bad_source["error"]
+        assert bad_op["status"] == "error"
+
+    def test_malformed_json_keeps_connection_open(self):
+        async def drive() -> list[dict]:
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(*daemon.address)
+            writer.write(b"{not json\n")
+            await writer.drain()
+            first = json.loads(await reader.readline())
+            writer.write(b'{"op": "ping"}\n')
+            await writer.drain()
+            second = json.loads(await reader.readline())
+            writer.close()
+            daemon.shutdown()
+            await server
+            return [first, second]
+
+        first, second = asyncio.run(drive())
+        assert first["status"] == "error"
+        assert second == {"status": "ok", "pong": True}
