@@ -15,11 +15,21 @@ Gates, asserted here and re-checked by CI against the emitted artifact:
 * every warm response is a ``cached="plan"`` hit and its payload is
   **byte-identical** (pickled) to the cold payload for that key;
 * warm p50 latency is at least :data:`SERVE_SPEEDUP_FLOOR` (10×) lower
-  than cold p50.
+  than cold p50;
+* the **rolling window** tracks only the current phase: both phases
+  share an injectable clock that jumps past the window between them,
+  so the warm-phase ``last_60s`` p99 of ``serve.ms`` must sit at least
+  :data:`WINDOW_SEPARATION_FLOOR` (4×) below the lifetime p99 that
+  still remembers the cold burst;
+* every request appears **exactly once** in the JSON-lines access log
+  (``BENCH_serve_access.jsonl``, uploaded by CI), with the configured
+  deterministic trace-sample fraction carrying span breakdowns;
+* the Prometheus exposition rendered from the post-run registry passes
+  :func:`repro.obs.prom.check_exposition`.
 
 Results land in ``BENCH_serve.json`` at the repo root (throughput +
-p50/p99 ms, cold vs warm) — the serve-side perf trajectory for later
-PRs.  Script-runnable::
+p50/p99 ms, cold vs warm, window separation) — the serve-side perf
+trajectory for later PRs.  Script-runnable::
 
     python benchmarks/bench_serve.py --json out/bench_serve.json \
         [--programs N] [--repeats R] [--jobs J]
@@ -37,16 +47,24 @@ import time
 from repro._io import atomic_write_json
 from repro.lang.generate import generate_corpus
 from repro.machine import format_table
-from repro.obs.metrics import latency_summary
-from repro.serve import PlanService, ServeRequest
+from repro.obs.metrics import latency_summary, registry
+from repro.obs.prom import check_exposition, render_prometheus
+from repro.serve import AccessLog, PlanService, ServeRequest, read_access_log
 
 SERVE_SPEEDUP_FLOOR = 10.0
-SERVE_JSON = os.path.join(
-    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_serve.json"
-)
+#: Lifetime p99 (remembering the cold burst) must exceed the warm-phase
+#: rolling-window p99 by at least this factor.
+WINDOW_SEPARATION_FLOOR = 4.0
+#: Rolling-window width the benchmark services register (seconds).
+BENCH_WINDOW = 60.0
+#: Deterministic trace-sample rate for the benchmark access log.
+BENCH_TRACE_SAMPLE = 0.125
+_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+SERVE_JSON = os.path.join(_ROOT, "BENCH_serve.json")
+SERVE_ACCESS_LOG = os.path.join(_ROOT, "BENCH_serve_access.jsonl")
 
 #: Benchmark artifact schema (validated by CI): bump on layout changes.
-SERVE_BENCH_SCHEMA = 1
+SERVE_BENCH_SCHEMA = 2
 
 
 def _requests(programs: int, repeats: int, seed: int) -> list[ServeRequest]:
@@ -104,21 +122,44 @@ def run_serve_bench(
         uniques = _requests(programs, 1, seed)
         stream = _requests(programs, repeats, seed)
 
-        with PlanService(cache_dir=root, jobs=jobs) as svc:
+        # Both phases share one injectable clock so the benchmark can
+        # age the cold burst out of the rolling window deterministically
+        # (no sleeps): jump it past the window between phases.
+        offset = [0.0]
+        clock = lambda: time.monotonic() + offset[0]  # noqa: E731
+        if os.path.exists(SERVE_ACCESS_LOG):
+            os.remove(SERVE_ACCESS_LOG)
+        access = AccessLog(SERVE_ACCESS_LOG, trace_sample=BENCH_TRACE_SAMPLE)
+
+        with PlanService(
+            cache_dir=root, jobs=jobs, access_log=access,
+            window=BENCH_WINDOW, clock=clock,
+        ) as svc:
             cold = _phase(svc, uniques)
             assert cold["cached"].get("cold", 0) == programs, (
                 "cold phase must miss on every unique program: "
                 f"{cold['cached']}"
             )
 
+        # Age the cold burst out of the rolling window; the windowed
+        # view must decay to empty before the warm phase begins.
+        offset[0] += 2 * BENCH_WINDOW
+        serve_ms = registry().histogram("serve.ms")
+        flushed = serve_ms.window().count == 0
+
         # A fresh service on the same directory: the warm phase goes
         # through warm start, proving persistence across instances.
-        with PlanService(cache_dir=root, jobs=jobs) as svc:
+        with PlanService(
+            cache_dir=root, jobs=jobs, access_log=access,
+            window=BENCH_WINDOW, clock=clock,
+        ) as svc:
             warm = _phase(svc, stream)
             assert warm["cached"].get("plan", 0) == len(stream), (
                 f"warm phase must hit the plan cache: {warm['cached']}"
             )
             cache_stats = svc.stats()["cache"]
+            window_summary = serve_ms.window().summary()
+            lifetime_summary = serve_ms.summary()
 
         identical = all(
             warm["_payloads"][name] == blob
@@ -129,6 +170,32 @@ def run_serve_bench(
         speedup_p50 = (
             cold["p50_ms"] / warm["p50_ms"] if warm["p50_ms"] else float("inf")
         )
+
+        # The rolling window must have forgotten the cold burst: only
+        # the warm phase is inside it, so its p99 sits well below the
+        # lifetime p99 that still includes cold planning.
+        window_p99 = window_summary["p99"]
+        lifetime_p99 = lifetime_summary["p99"]
+        separation = (
+            lifetime_p99 / window_p99 if window_p99 else float("inf")
+        )
+
+        # Exactly-once access logging: one record per request, every
+        # one ok, sampled records carrying span breakdowns.
+        records = [
+            r for r in read_access_log(SERVE_ACCESS_LOG)
+            if r["kind"] == "access"
+        ]
+        expected = len(uniques) + len(stream)
+        exactly_once = (
+            len(records) == expected
+            and all(r["status"] == "ok" for r in records)
+        )
+        sampled = sum(1 for r in records if "trace" in r)
+
+        exposition = render_prometheus()
+        prom_errors = check_exposition(exposition)
+
         out = {
             "schema": SERVE_BENCH_SCHEMA,
             "programs": programs,
@@ -146,11 +213,47 @@ def run_serve_bench(
             ),
             "plans_identical": identical,
             "cache": cache_stats,
+            "window": {
+                "seconds": BENCH_WINDOW,
+                "cold_flushed": flushed,
+                "lifetime_p99_ms": lifetime_p99,
+                "warm_window_p99_ms": window_p99,
+                "separation": separation,
+                "separation_floor": WINDOW_SEPARATION_FLOOR,
+            },
+            "access_log": {
+                "path": os.path.basename(SERVE_ACCESS_LOG),
+                "expected": expected,
+                "records": len(records),
+                "exactly_once": exactly_once,
+                "trace_sample": BENCH_TRACE_SAMPLE,
+                "sampled": sampled,
+            },
+            "prometheus": {
+                "valid": not prom_errors,
+                "errors": prom_errors,
+                "samples": sum(
+                    1
+                    for line in exposition.splitlines()
+                    if line and not line.startswith("#")
+                ),
+            },
         }
         assert speedup_p50 >= SERVE_SPEEDUP_FLOOR, (
             f"warm p50 only {speedup_p50:.1f}x lower than cold "
             f"(floor {SERVE_SPEEDUP_FLOOR:.0f}x)"
         )
+        assert flushed, "rolling window failed to expire the cold burst"
+        assert separation >= WINDOW_SEPARATION_FLOOR, (
+            f"warm-window p99 {window_p99:.3f}ms only {separation:.1f}x "
+            f"below lifetime p99 {lifetime_p99:.3f}ms "
+            f"(floor {WINDOW_SEPARATION_FLOOR:.0f}x)"
+        )
+        assert exactly_once, (
+            f"access log has {len(records)} records for {expected} requests"
+        )
+        assert sampled >= 1, "trace sampling produced no sampled records"
+        assert not prom_errors, f"invalid exposition: {prom_errors[:3]}"
         atomic_write_json(SERVE_JSON, out)
         return out
     finally:
@@ -179,6 +282,17 @@ def test_serve_cold_vs_warm_gate(benchmark, report):
             f"{stats['speedup_p99']:.1f}x",
         )
     )
+    win = stats["window"]
+    rows.append(
+        (
+            f"last_{win['seconds']:g}s",
+            "",
+            "",
+            "",
+            f"{win['warm_window_p99_ms']:.3f}ms "
+            f"({win['separation']:.0f}x under lifetime)",
+        )
+    )
     report.table(
         format_table(
             ["phase", "requests", "throughput", "p50", "p99"],
@@ -191,7 +305,12 @@ def test_serve_cold_vs_warm_gate(benchmark, report):
     )
     assert stats["plans_identical"]
     assert stats["speedup_p50"] >= SERVE_SPEEDUP_FLOOR
+    assert stats["window"]["cold_flushed"]
+    assert stats["window"]["separation"] >= WINDOW_SEPARATION_FLOOR
+    assert stats["access_log"]["exactly_once"]
+    assert stats["prometheus"]["valid"]
     assert os.path.exists(SERVE_JSON)
+    assert os.path.exists(SERVE_ACCESS_LOG)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -8,10 +8,12 @@ Usage::
                          [--distribute P] [--phases] [--topology SPEC]
                          [--trace-passes] [--no-vectorize]
                          [--trace-out OUT.json] [--metrics]
+                         [--prom-out OUT.prom]
     python -m repro --batch <dir|count> [--jobs J] [--serial]
                          [--batch-seed S] [--batch-json OUT.json]
                          [--distribute P] [--topology SPEC]
                          [--trace-out OUT.json] [--metrics]
+                         [--prom-out OUT.prom]
     python -m repro --explain [--distribute P] [--phases]
 
 Reads a program in the Fortran-90-like surface syntax, runs the full
@@ -47,7 +49,9 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``; an ASCII
 flame summary is printed too.  With ``--batch``, every worker records
 its tasks and the per-process traces are merged into one file.
 ``--metrics`` prints the typed metric registry, cache hit counters
-included.
+included; ``--prom-out OUT.prom`` writes the same registry as
+Prometheus text exposition (validated in CI by
+``python -m repro.obs.prom --check``).
 """
 
 from __future__ import annotations
@@ -134,8 +138,20 @@ def _run_batch(args, align_kw: dict) -> int:
         from .obs import registry
 
         print(registry().render())
+    if args.prom_out:
+        _write_prom(args.prom_out)
     unverified = any(r.verified is False for r in report.results)
     return 0 if not report.failures and not unverified else 1
+
+
+def _write_prom(path: str) -> None:
+    """Write the registry as Prometheus exposition (atomic: a crash
+    must not leave a truncated scrape file where CI validates one)."""
+    from ._io import atomic_write_text
+    from .obs import render_prometheus
+
+    atomic_write_text(path, render_prometheus())
+    print(f"prometheus exposition written to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -215,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the metrics registry (counters, gauges, histograms, "
         "cache hit counters) after the run",
+    )
+    ap.add_argument(
+        "--prom-out",
+        metavar="OUT",
+        help="write the post-run metric registry as Prometheus text "
+        "exposition (validate with python -m repro.obs.prom --check)",
     )
     ap.add_argument(
         "--explain",
@@ -426,6 +448,9 @@ def main(argv: list[str] | None = None) -> int:
         from .obs import registry
 
         print(registry().render())
+
+    if args.prom_out:
+        _write_prom(args.prom_out)
 
     if args.trace_passes:
         print("\npass trace:")

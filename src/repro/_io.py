@@ -53,3 +53,35 @@ def atomic_write_json(path: str, obj: Any, indent: int | None = 2) -> None:
     non-serializable object cannot clobber an existing artifact either.
     """
     atomic_write_text(path, json.dumps(obj, indent=indent))
+
+
+def append_line(path: str, line: str, encoding: str = "utf-8") -> None:
+    """Append one newline-terminated record to ``path`` (created if
+    missing).
+
+    The complement of the atomic-replace writers above, for logs that
+    *grow*: the file is opened with ``O_APPEND``, the whole record is a
+    single ``write`` of one line, and POSIX guarantees append writes
+    are not interleaved with other appenders for ordinary files — so
+    concurrent threads (the serve access log is written from a thread
+    pool) each land one intact line.  The line itself must not contain
+    a newline; serialize first, then append.
+    """
+    if "\n" in line:
+        raise ValueError("append_line records must be single lines")
+    data = (line + "\n").encode(encoding)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def append_jsonl(path: str, obj: Any) -> None:
+    """Serialize ``obj`` compactly and append it as one JSON line.
+
+    Serialization happens before the file is opened (a non-serializable
+    record cannot leave a partial line), and the single-write append of
+    :func:`append_line` keeps concurrent writers' records intact.
+    """
+    append_line(path, json.dumps(obj, separators=(",", ":")))

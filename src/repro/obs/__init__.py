@@ -15,6 +15,15 @@ The telemetry substrate under every instrumented layer of the planner
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable,
   CLI ``--trace-out``), structured JSON, and an ASCII flame summary;
   :mod:`repro.obs.check` validates emitted files.
+* :mod:`repro.obs.live` — rolling-window telemetry:
+  :class:`WindowedCounter` / :class:`WindowedHistogram` (time-sliced
+  ring shards alongside the lifetime view) and :class:`SLOTracker`
+  burn-rate evaluation over declarative latency/error objectives.
+* :mod:`repro.obs.prom` — Prometheus text-format exposition of the
+  registry plus a pure-python format checker
+  (``python -m repro.obs.prom --check``).
+* :mod:`repro.obs.watch` — a live ASCII dashboard polling a running
+  serve daemon (``python -m repro.obs.watch HOST:PORT``).
 """
 
 from .export import (
@@ -24,6 +33,14 @@ from .export import (
     to_json,
     write_chrome_trace,
 )
+from .live import (
+    ErrorRateSLO,
+    LatencySLO,
+    SLOTracker,
+    WindowedCounter,
+    WindowedHistogram,
+    default_serve_slos,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -32,6 +49,7 @@ from .metrics import (
     latency_summary,
     registry,
 )
+from .prom import check_exposition, render_prometheus
 from .recorder import SpanRecord, TraceRecorder
 from .spans import (
     Span,
@@ -48,14 +66,21 @@ from .spans import (
 
 __all__ = [
     "Counter",
+    "ErrorRateSLO",
     "Gauge",
     "Histogram",
+    "LatencySLO",
     "Registry",
+    "SLOTracker",
     "Span",
     "SpanRecord",
     "TraceRecorder",
+    "WindowedCounter",
+    "WindowedHistogram",
     "annotate",
+    "check_exposition",
     "current",
+    "default_serve_slos",
     "disable",
     "enable",
     "enabled",
@@ -64,6 +89,7 @@ __all__ = [
     "latency_summary",
     "recording",
     "registry",
+    "render_prometheus",
     "root_coverage",
     "span",
     "to_chrome",

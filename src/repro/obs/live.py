@@ -1,0 +1,343 @@
+"""Rolling-window telemetry: time-sliced metrics and SLO tracking.
+
+Lifetime-cumulative metrics answer "what happened since the process
+started"; a service under live traffic needs "what is happening *now*".
+This module adds the windowed layer:
+
+* :class:`WindowedCounter` / :class:`WindowedHistogram` — subclasses of
+  the cumulative types that additionally maintain a ring of time
+  slices.  The lifetime view is unchanged (they register and snapshot
+  through :class:`~repro.obs.metrics.Registry` like any other metric);
+  the rolling view covers the last ``window`` seconds, sliced into
+  ``slices`` shards so expiry is incremental, not all-or-nothing.
+  Window merges are *exact*: shards are folded through
+  :meth:`Histogram.merge`, and :meth:`Histogram.to_dict` /
+  :meth:`~Histogram.from_dict` round-trip every shard losslessly.
+* :class:`SLOTracker` — declarative latency/error objectives
+  (:class:`LatencySLO`, :class:`ErrorRateSLO`) evaluated against both
+  the windowed and lifetime views, with the classic burn-rate signal:
+  ``burn = bad_fraction / error_budget`` (> 1 means the objective is
+  being consumed faster than its budget; sustained > 1 means it will
+  be violated).
+
+Clocks are injectable everywhere (``clock=`` defaults to
+``time.monotonic``), so tests drive expiry with a fake clock and zero
+sleeps, and the serve benchmark can age out a cold burst before the
+warm phase.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from .metrics import Counter, Histogram, Registry, registry as _registry
+
+
+class _SliceRing:
+    """Bookkeeping for a ring of time slices (mixin-style helper).
+
+    A slice is identified by ``floor(now / slice_seconds)``; the ring
+    keeps the ``slices`` most recent identifiers, so the effective
+    window spans between ``window - slice`` and ``window`` seconds —
+    the standard rolling-window approximation at constant memory.
+    Callers hold the owning metric's lock around every method.
+    """
+
+    __slots__ = ("window_seconds", "slice_seconds", "n_slices", "clock",
+                 "_ring")
+
+    def __init__(
+        self,
+        window: float,
+        slices: int,
+        clock: Optional[Callable[[], float]],
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if slices < 1:
+            raise ValueError(f"need at least 1 slice, got {slices}")
+        self.window_seconds = float(window)
+        self.n_slices = int(slices)
+        self.slice_seconds = self.window_seconds / self.n_slices
+        self.clock = clock if clock is not None else time.monotonic
+        self._ring: deque = deque()  # (slice_id, payload), oldest first
+
+    def current(self, make_payload) -> object:
+        """The live slice's payload, rotating/expiring as time moves."""
+        sid = int(self.clock() // self.slice_seconds)
+        self._expire(sid)
+        if not self._ring or self._ring[-1][0] != sid:
+            self._ring.append((sid, make_payload()))
+        return self._ring[-1][1]
+
+    def live_payloads(self) -> list:
+        """Payloads still inside the window, oldest first."""
+        sid = int(self.clock() // self.slice_seconds)
+        self._expire(sid)
+        return [payload for _, payload in self._ring]
+
+    def _expire(self, current_sid: int) -> None:
+        floor = current_sid - self.n_slices + 1
+        while self._ring and self._ring[0][0] < floor:
+            self._ring.popleft()
+
+
+class WindowedCounter(Counter):
+    """A counter whose lifetime total is accompanied by a rolling sum.
+
+    ``value`` stays the monotone lifetime count; :meth:`window_value`
+    is the number of increments inside the last ``window`` seconds.
+    """
+
+    __slots__ = ("_slices",)
+
+    def __init__(
+        self,
+        name: str,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name)
+        self._slices = _SliceRing(window, slices, clock)
+
+    @property
+    def window_seconds(self) -> float:
+        return self._slices.window_seconds
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._slices.clock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+            shard = self._slices.current(lambda: [0])
+            shard[0] += n
+
+    def window_value(self) -> int:
+        with self._lock:
+            return sum(s[0] for s in self._slices.live_payloads())
+
+    def absorb_lifetime(self, other: Counter) -> None:
+        """Carry a plain counter's lifetime total into this one (the
+        registry upgrade path); the window starts empty."""
+        self.value = other.value
+
+
+class WindowedHistogram(Histogram):
+    """A histogram that also maintains per-slice shard histograms.
+
+    The inherited state is the lifetime view (``summary()``,
+    ``percentile()`` behave exactly like a cumulative histogram);
+    :meth:`window` merges the live shards — exactly, via
+    :meth:`Histogram.merge` — into a plain :class:`Histogram` covering
+    the last ``window`` seconds.
+    """
+
+    __slots__ = ("_slices",)
+
+    def __init__(
+        self,
+        name: str,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(name)
+        self._slices = _SliceRing(window, slices, clock)
+
+    @property
+    def window_seconds(self) -> float:
+        return self._slices.window_seconds
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._slices.clock
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name}: negative value {value}")
+        with self._lock:
+            self._observe(value)
+            shard = self._slices.current(lambda: Histogram(self.name))
+            shard._observe(value)  # under our lock; shards are private
+
+    def window(self) -> Histogram:
+        """The last ``window`` seconds as one exactly-merged histogram."""
+        with self._lock:
+            merged = Histogram(self.name)
+            for shard in self._slices.live_payloads():
+                merged.merge(shard)
+            return merged
+
+    def absorb_lifetime(self, other: Histogram) -> None:
+        """Carry a plain histogram's lifetime state into this one (the
+        registry upgrade path); the window starts empty."""
+        self.count = other.count
+        self.total = other.total
+        self.min = other.min
+        self.max = other.max
+        self.zeros = other.zeros
+        self.buckets = dict(other.buckets)
+
+
+# -- SLOs ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencySLO:
+    """``target`` fraction of requests must complete within
+    ``threshold_ms`` — evaluated against a (windowed) histogram of
+    millisecond latencies at bucket resolution (conservative: a
+    threshold inside a bucket excludes that bucket)."""
+
+    name: str
+    histogram: str
+    threshold_ms: float
+    target: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1): {self.target}")
+
+
+@dataclass(frozen=True)
+class ErrorRateSLO:
+    """``target`` fraction of requests (counter ``total``) must not be
+    errors (counter ``errors``)."""
+
+    name: str
+    total: str
+    errors: str
+    target: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1): {self.target}")
+
+
+Objective = Union[LatencySLO, ErrorRateSLO]
+
+
+def _burn(bad: int, total: int, target: float) -> dict:
+    """One compliance evaluation: fraction in-objective + burn rate.
+
+    ``burn_rate`` is the bad fraction over the error budget
+    (``1 - target``): 1.0 means spending the budget exactly as fast as
+    allowed, above it the objective degrades.  No traffic is perfect
+    compliance (burn 0) — an idle service violates nothing.
+    """
+    if total <= 0:
+        return {"total": 0, "bad": 0, "compliance": 1.0, "burn_rate": 0.0}
+    bad = min(bad, total)
+    frac_bad = bad / total
+    budget = 1.0 - target
+    return {
+        "total": total,
+        "bad": bad,
+        "compliance": 1.0 - frac_bad,
+        "burn_rate": frac_bad / budget,
+    }
+
+
+class SLOTracker:
+    """Evaluate declarative objectives against a metric registry.
+
+    Point a tracker at objectives whose metric names resolve to
+    windowed metrics and :meth:`report` yields, per objective, the
+    lifetime and rolling-window compliance plus burn rates — the signal
+    the serve daemon surfaces through ``stats`` and the watch
+    dashboard renders.  Plain cumulative metrics degrade gracefully:
+    the ``window`` section then mirrors the lifetime view.
+    """
+
+    def __init__(
+        self,
+        objectives: list,
+        registry: Optional[Registry] = None,
+    ) -> None:
+        seen = set()
+        for obj in objectives:
+            if obj.name in seen:
+                raise ValueError(f"duplicate SLO name {obj.name!r}")
+            seen.add(obj.name)
+        self.objectives = list(objectives)
+        self._registry = registry
+
+    @property
+    def registry(self) -> Registry:
+        return self._registry if self._registry is not None else _registry()
+
+    def _eval_latency(self, slo: LatencySLO) -> dict:
+        h = self.registry.histogram(slo.histogram)
+        lifetime = _burn(
+            h.count - h.count_le(slo.threshold_ms), h.count, slo.target
+        )
+        if isinstance(h, WindowedHistogram):
+            w = h.window()
+            window = _burn(
+                w.count - w.count_le(slo.threshold_ms), w.count, slo.target
+            )
+        else:
+            window = lifetime
+        return {
+            "kind": "latency",
+            "threshold_ms": slo.threshold_ms,
+            "lifetime": lifetime,
+            "window": window,
+        }
+
+    def _eval_error_rate(self, slo: ErrorRateSLO) -> dict:
+        total = self.registry.counter(slo.total)
+        errors = self.registry.counter(slo.errors)
+        lifetime = _burn(errors.value, total.value, slo.target)
+        if isinstance(total, WindowedCounter) and isinstance(
+            errors, WindowedCounter
+        ):
+            window = _burn(
+                errors.window_value(), total.window_value(), slo.target
+            )
+        else:
+            window = lifetime
+        return {
+            "kind": "error_rate",
+            "lifetime": lifetime,
+            "window": window,
+        }
+
+    def report(self) -> dict:
+        """Every objective, JSON-ready, keyed by SLO name."""
+        out: dict[str, dict] = {}
+        for slo in self.objectives:
+            if isinstance(slo, LatencySLO):
+                entry = self._eval_latency(slo)
+            else:
+                entry = self._eval_error_rate(slo)
+            entry["target"] = slo.target
+            entry["healthy"] = entry["window"]["burn_rate"] <= 1.0
+            out[slo.name] = entry
+        return out
+
+
+def default_serve_slos() -> list:
+    """The serve daemon's out-of-the-box objectives: warm cache hits
+    answer within 25ms for 99% of requests, and 99% of requests do not
+    error.  Override via ``PlanService(slos=[...])``."""
+    return [
+        LatencySLO(
+            "warm_latency",
+            histogram="serve.warm_ms",
+            threshold_ms=25.0,
+            target=0.99,
+        ),
+        ErrorRateSLO(
+            "availability",
+            total="serve.requests",
+            errors="serve.errors",
+            target=0.99,
+        ),
+    ]

@@ -3,11 +3,24 @@
 Three metric kinds, all cheap enough for hot paths:
 
 * :class:`Counter` — a monotonically increasing integer.
-* :class:`Gauge` — a last-write-wins float.
+* :class:`Gauge` — a last-write-wins float with ``inc``/``dec`` for
+  level tracking (in-flight requests, queue depths).
 * :class:`Histogram` — log-scaled buckets (base ``2**0.25``, ~19%
   resolution) with exact count/sum/min/max; percentiles are read off
   the bucket boundaries by geometric interpolation, so p50/p90/p99 are
   within one bucket width of exact at constant memory.
+
+All three are **thread-safe**: the serve daemon plans in a thread pool,
+so ``inc``/``set``/``observe`` take a per-metric lock (an uncontended
+``threading.Lock`` costs well under a microsecond — the overhead-guard
+test in ``tests/test_obs_live.py`` holds that line, and the hammer test
+there asserts exact counts under concurrent increments).
+
+:mod:`repro.obs.live` adds windowed variants (:class:`WindowedCounter`,
+:class:`WindowedHistogram`) that subclass these, so they register and
+snapshot through the same :class:`Registry` — the lifetime view stays
+where it always was and a rolling ``last_<W>s`` view appears alongside
+under ``snapshot()["windows"]``.
 
 The process-global :func:`registry` is the front door.  It *absorbs*
 :mod:`repro.cachestats` as a compatibility facade: cache hit/miss
@@ -20,7 +33,8 @@ their tests keep the API they always had.
 from __future__ import annotations
 
 import math
-from typing import Mapping, Optional, Union
+import threading
+from typing import Callable, Mapping, Optional, Union
 
 from .. import cachestats
 
@@ -29,25 +43,37 @@ _LN_BASE = math.log(_LOG_BASE)
 
 
 class Counter:
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        """Add ``n`` to the level; an unset gauge counts as 0."""
+        with self._lock:
+            self.value = (self.value or 0) + n
+
+    def dec(self, n: float = 1) -> None:
+        self.inc(-n)
 
 
 class Histogram:
@@ -57,7 +83,8 @@ class Histogram:
     dedicated bucket.  Memory is one dict entry per occupied bucket.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets", "zeros")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "zeros", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -67,10 +94,16 @@ class Histogram:
         self.max = -math.inf
         self.buckets: dict[int, int] = {}
         self.zeros = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"histogram {self.name}: negative value {value}")
+        with self._lock:
+            self._observe(value)
+
+    def _observe(self, value: float) -> None:
+        """The unlocked update body (callers hold ``self._lock``)."""
         self.count += 1
         self.total += value
         if value < self.min:
@@ -84,13 +117,69 @@ class Histogram:
         self.buckets[i] = self.buckets.get(i, 0) + 1
 
     def merge(self, other: "Histogram") -> None:
-        self.count += other.count
-        self.total += other.total
-        self.min = min(self.min, other.min)
-        self.max = max(self.max, other.max)
-        self.zeros += other.zeros
-        for i, n in other.buckets.items():
-            self.buckets[i] = self.buckets.get(i, 0) + n
+        """Fold ``other`` into this histogram — an *exact* merge: the
+        merged counts, sum, extrema, and per-bucket tallies equal what
+        one histogram observing both streams would hold.
+
+        ``other`` is read without taking its lock; callers merge either
+        quiescent histograms (window shards guarded by their parent's
+        lock, :func:`latency_summary` locals) or accept the race.
+        """
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+            self.zeros += other.zeros
+            for i, n in other.buckets.items():
+                self.buckets[i] = self.buckets.get(i, 0) + n
+
+    def to_dict(self) -> dict:
+        """A JSON-ready exact encoding; :meth:`from_dict` round-trips it.
+
+        Bucket keys are stringified indices (JSON objects cannot key on
+        ints); ``min``/``max`` of an empty histogram encode as ``None``
+        so the infinities never leak into a JSON document.
+        """
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": None if self.count == 0 else self.min,
+                "max": None if self.count == 0 else self.max,
+                "zeros": self.zeros,
+                "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+            }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping) -> "Histogram":
+        h = cls(name)
+        h.count = int(data["count"])
+        h.total = float(data["sum"])
+        h.min = math.inf if data["min"] is None else float(data["min"])
+        h.max = -math.inf if data["max"] is None else float(data["max"])
+        h.zeros = int(data["zeros"])
+        h.buckets = {int(i): int(n) for i, n in data["buckets"].items()}
+        return h
+
+    def count_le(self, value: float) -> int:
+        """Observations known to be ``<= value``, at bucket resolution.
+
+        Counts the zeros bucket plus every bucket whose *upper* edge is
+        at or below ``value`` — conservative for a threshold inside a
+        bucket (the partial bucket is excluded), which is the right
+        direction for SLO compliance: never over-credit.
+        """
+        if value < 0:
+            return 0
+        with self._lock:
+            n = self.zeros
+            if value > 0:
+                edge = math.floor(math.log(value) / _LN_BASE + 1e-12)
+                for i, c in self.buckets.items():
+                    if i <= edge:
+                        n += c
+            return n
 
     def percentile(self, q: float) -> float:
         """The value at quantile ``q`` in [0, 1], bucket-resolution.
@@ -155,23 +244,34 @@ class Histogram:
 Metric = Union[Counter, Gauge, Histogram]
 
 
+def _window_label(seconds: float) -> str:
+    n = int(seconds)
+    return f"last_{n}s" if n == seconds else f"last_{seconds:g}s"
+
+
 class Registry:
-    """Name-keyed store of typed metrics; accessors create on first use."""
+    """Name-keyed store of typed metrics; accessors create on first use.
+
+    Thread-safe: creation and snapshots lock the name table (individual
+    metric updates lock per metric, so hot paths never contend here).
+    """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type) -> Metric:
-        m = self._metrics.get(name)
-        if m is None:
-            m = kind(name)
-            self._metrics[name] = m
-        elif not isinstance(m, kind):
-            raise TypeError(
-                f"metric {name!r} is a {type(m).__name__}, "
-                f"not a {kind.__name__}"
-            )
-        return m
+        with self._lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = kind(name)
+                self._metrics[name] = m
+            elif not isinstance(m, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(m).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return m
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)  # type: ignore[return-value]
@@ -182,26 +282,169 @@ class Registry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)  # type: ignore[return-value]
 
+    # -- windowed variants (repro.obs.live) --------------------------------
+
+    def _get_windowed(
+        self,
+        name: str,
+        kind: type,
+        base_kind: type,
+        window: float,
+        slices: int,
+        clock: Optional[Callable[[], float]],
+    ):
+        """Fetch-or-create a windowed metric, *upgrading* an existing
+        cumulative metric of the base kind in place (its lifetime state
+        carries over) — so a service can widen ``serve.requests`` to a
+        windowed counter without breaking earlier ``counter()`` users.
+
+        An existing windowed metric is reconfigured (window state reset,
+        lifetime kept) only when the requested window or clock actually
+        differs; repeat registrations are idempotent.
+        """
+        with self._lock:
+            m = self._metrics.get(name)
+            if isinstance(m, kind):
+                if m.window_seconds == window and (
+                    clock is None or clock is m.clock
+                ):
+                    return m
+            elif m is not None and not isinstance(m, base_kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(m).__name__}, "
+                    f"not a {base_kind.__name__}"
+                )
+            fresh = kind(name, window=window, slices=slices, clock=clock)
+            if m is not None:
+                fresh.absorb_lifetime(m)
+            self._metrics[name] = fresh
+            return fresh
+
+    def windowed_counter(
+        self,
+        name: str,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        from .live import WindowedCounter
+
+        return self._get_windowed(
+            name, WindowedCounter, Counter, window, slices, clock
+        )
+
+    def windowed_histogram(
+        self,
+        name: str,
+        window: float = 60.0,
+        slices: int = 12,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        from .live import WindowedHistogram
+
+        return self._get_windowed(
+            name, WindowedHistogram, Histogram, window, slices, clock
+        )
+
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def clear(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
+
+    def collect(self, include_cachestats: bool = True) -> list[dict]:
+        """Every metric as a typed record — the exporter feed.
+
+        Unlike :meth:`snapshot` (summaries for humans and JSON stats),
+        ``collect`` carries *raw* histogram buckets, which the
+        Prometheus renderer needs to derive cumulative ``le`` bounds.
+        Windowed metrics attach their rolling view under ``window``.
+        """
+        from .live import WindowedCounter, WindowedHistogram
+
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        out: list[dict] = []
+        for m in metrics:
+            if isinstance(m, Counter):
+                rec = {"kind": "counter", "name": m.name, "value": m.value}
+                if isinstance(m, WindowedCounter):
+                    rec["window"] = {
+                        "seconds": m.window_seconds,
+                        "label": _window_label(m.window_seconds),
+                        "value": m.window_value(),
+                    }
+            elif isinstance(m, Gauge):
+                rec = {"kind": "gauge", "name": m.name, "value": m.value}
+            else:
+                rec = {
+                    "kind": "histogram",
+                    "name": m.name,
+                    "data": m.to_dict(),
+                }
+                if isinstance(m, WindowedHistogram):
+                    rec["window"] = {
+                        "seconds": m.window_seconds,
+                        "label": _window_label(m.window_seconds),
+                        "data": m.window().to_dict(),
+                    }
+            out.append(rec)
+        if include_cachestats:
+            for name, (hits, misses) in sorted(cachestats.snapshot().items()):
+                out.append(
+                    {
+                        "kind": "counter",
+                        "name": f"cache.{name}.hits",
+                        "value": hits,
+                    }
+                )
+                out.append(
+                    {
+                        "kind": "counter",
+                        "name": f"cache.{name}.misses",
+                        "value": misses,
+                    }
+                )
+        return out
 
     def snapshot(self, include_cachestats: bool = True) -> dict:
         """Everything, JSON-ready — cachestats counters included via the
-        compatibility facade (``cache.<name>.hits`` / ``.misses``)."""
+        compatibility facade (``cache.<name>.hits`` / ``.misses``).
+
+        Windowed metrics report twice: their lifetime totals live under
+        ``counters``/``histograms`` exactly like cumulative metrics, and
+        their rolling view lands under ``windows`` keyed by metric name
+        (``{"window_seconds", "label", "value" | "summary"}``).
+        """
+        from .live import WindowedCounter, WindowedHistogram
+
         counters: dict[str, int] = {}
         gauges: dict[str, Optional[float]] = {}
         histograms: dict[str, dict] = {}
-        for name in sorted(self._metrics):
-            m = self._metrics[name]
+        windows: dict[str, dict] = {}
+        with self._lock:
+            metrics = [self._metrics[k] for k in sorted(self._metrics)]
+        for m in metrics:
             if isinstance(m, Counter):
-                counters[name] = m.value
+                counters[m.name] = m.value
+                if isinstance(m, WindowedCounter):
+                    windows[m.name] = {
+                        "window_seconds": m.window_seconds,
+                        "label": _window_label(m.window_seconds),
+                        "value": m.window_value(),
+                    }
             elif isinstance(m, Gauge):
-                gauges[name] = m.value
+                gauges[m.name] = m.value
             else:
-                histograms[name] = m.summary()
+                histograms[m.name] = m.summary()
+                if isinstance(m, WindowedHistogram):
+                    windows[m.name] = {
+                        "window_seconds": m.window_seconds,
+                        "label": _window_label(m.window_seconds),
+                        "summary": m.window().summary(),
+                    }
         if include_cachestats:
             for name, (hits, misses) in sorted(cachestats.snapshot().items()):
                 counters[f"cache.{name}.hits"] = hits
@@ -210,6 +453,7 @@ class Registry:
             "counters": counters,
             "gauges": gauges,
             "histograms": histograms,
+            "windows": windows,
         }
 
     def render(self, include_cachestats: bool = True) -> str:
@@ -228,6 +472,17 @@ class Registry:
                 )
             else:
                 lines.append(f"  histogram {name:<36s} n=0")
+        for name, w in snap["windows"].items():
+            if "value" in w:
+                lines.append(
+                    f"  window    {name:<36s} {w['label']}={w['value']}"
+                )
+            else:
+                s = w["summary"]
+                lines.append(
+                    f"  window    {name:<36s} {w['label']}: n={s['count']} "
+                    f"p50={s['p50']:.4g} p99={s['p99']:.4g}"
+                )
         return "\n".join(lines)
 
 

@@ -10,7 +10,11 @@ long-running front end the north star asks for.  Three layers:
   bounded backpressure, cache probe, cold-miss sharding over a
   worker-process pool, :mod:`repro.obs` spans and metrics throughout;
 * :mod:`repro.serve.daemon` — :class:`PlanDaemon`: the asyncio
-  JSON-lines TCP front end (``python -m repro.serve``).
+  JSON-lines TCP front end (``python -m repro.serve``), with a
+  Prometheus ``/metrics`` scrape mode and structured lifecycle events;
+* :mod:`repro.serve.accesslog` — :class:`AccessLog`: the JSON-lines
+  per-request access log (and daemon event log), with deterministic
+  trace sampling.
 
 Quickstart (in-process)::
 
@@ -22,6 +26,7 @@ Quickstart (in-process)::
         assert r1.plan == r2.plan
 """
 
+from .accesslog import AccessLog, read_access_log
 from .cache import (
     MISS,
     SCHEMA_VERSION,
@@ -30,11 +35,19 @@ from .cache import (
     PlanCache,
 )
 from .daemon import PlanDaemon, run_daemon
-from .service import DEFAULT_NPROCS, PlanService, ServeRequest, ServeResponse
+from .service import (
+    DEFAULT_NPROCS,
+    DEFAULT_WINDOW,
+    PlanService,
+    ServeRequest,
+    ServeResponse,
+)
 
 __all__ = [
+    "AccessLog",
     "CacheStats",
     "DEFAULT_NPROCS",
+    "DEFAULT_WINDOW",
     "MISS",
     "NonContentAddressedKeyError",
     "PlanCache",
@@ -43,5 +56,6 @@ __all__ = [
     "SCHEMA_VERSION",
     "ServeRequest",
     "ServeResponse",
+    "read_access_log",
     "run_daemon",
 ]

@@ -5,7 +5,8 @@ Usage::
     python -m repro.serve [--host H] [--port P] [--cache-dir DIR]
                           [--max-entries N] [--jobs J] [--max-pending N]
                           [--retry-after S] [--distribute P]
-                          [--topology SPEC]
+                          [--topology SPEC] [--access-log FILE]
+                          [--trace-sample R] [--window S]
 
 ``--cache-dir`` enables the persistent plan cache (omit it for a
 memory-only cache that dies with the process); restarting the daemon on
@@ -13,6 +14,14 @@ the same directory warm-starts from the persisted entries.
 ``--distribute`` / ``--topology`` set the *default* machine for
 requests that don't name one; per-request ``nprocs`` / ``topology``
 fields always win.
+
+``--access-log FILE`` appends one structured JSON line per request
+(:mod:`repro.serve.accesslog`); ``--trace-sample R`` makes every
+``round(1/R)``-th of those records carry a per-span time breakdown.
+``--window S`` sets the rolling-window width the ``stats``/``metrics``
+ops and the watch dashboard report over (default 60s).  Lifecycle
+events (the ``listening`` line, malformed requests) go to stdout as
+JSON records either way.
 """
 
 from __future__ import annotations
@@ -21,7 +30,7 @@ import argparse
 import asyncio
 
 from .daemon import run_daemon
-from .service import DEFAULT_NPROCS, PlanService
+from .service import DEFAULT_NPROCS, DEFAULT_WINDOW, PlanService
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -75,7 +84,34 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help="default machine topology spec (e.g. torus:4x4)",
     )
+    ap.add_argument(
+        "--access-log",
+        metavar="FILE",
+        help="append one JSON line per request to FILE",
+    )
+    ap.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="fraction of access records carrying a span breakdown "
+        "(deterministic: every round(1/R)-th request; default 0: off)",
+    )
+    ap.add_argument(
+        "--window",
+        type=float,
+        default=DEFAULT_WINDOW,
+        metavar="S",
+        help="rolling-window width in seconds for windowed metrics "
+        f"and SLO burn rates (default {DEFAULT_WINDOW:g})",
+    )
     args = ap.parse_args(argv)
+    if not 0.0 <= args.trace_sample <= 1.0:
+        ap.error(f"--trace-sample outside [0, 1]: {args.trace_sample}")
+    if args.window <= 0:
+        ap.error(f"--window must be positive: {args.window}")
+    if args.trace_sample and not args.access_log:
+        ap.error("--trace-sample needs --access-log")
     if args.topology is not None:
         from ..topology import parse_topology
 
@@ -92,6 +128,9 @@ def main(argv: list[str] | None = None) -> int:
         retry_after=args.retry_after,
         default_nprocs=args.distribute,
         default_topology=args.topology,
+        access_log=args.access_log,
+        trace_sample=args.trace_sample,
+        window=args.window,
     )
     try:
         asyncio.run(run_daemon(service, host=args.host, port=args.port))

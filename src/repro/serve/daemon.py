@@ -9,6 +9,16 @@ Protocol — one JSON object per line, one response line per request::
 
     → {"op": "stats"}
     ← {"status": "ok", "stats": {...}}          # cache + counters + latency
+                                                # + window + slo + inflight
+
+    → {"op": "metrics"}
+    ← {"status": "ok", "metrics": {...}}        # full registry snapshot:
+                                                # counters/gauges/histograms
+                                                # + rolling "windows" views
+
+    → {"op": "metrics", "format": "prom"}
+    ← {"status": "ok", "format": "prom",
+       "metrics": "# TYPE serve_requests_total counter\\n..."}
 
     → {"op": "ping"}
     ← {"status": "ok", "pong": true}
@@ -18,6 +28,18 @@ yields ``{"status": "error", ...}`` on that line; the connection stays
 open.  Past the admission high-water mark the daemon answers
 ``{"status": "rejected", "retry_after": ...}`` immediately — clients
 should back off and retry — rather than queueing without bound.
+
+Scrape mode: a raw ``/metrics`` line (no JSON) answers with the
+Prometheus text exposition and closes the connection, so
+``python -m repro.obs.prom --scrape HOST:PORT`` needs no JSON client;
+a ``GET /metrics`` line gets the same body wrapped in a minimal
+HTTP/1.0 response, which is enough for ``curl`` and a Prometheus
+scrape target pointed straight at the daemon port.
+
+Operational events (listening, malformed requests, connection resets)
+are JSON-lines records through the daemon's event log — same schema as
+the service's access log (:mod:`repro.serve.accesslog`), so one ``jq``
+vocabulary covers both.
 
 Admission runs in the event loop (cheap, bounded); planning runs in the
 service's thread pool, and cold misses are sharded from there to the
@@ -30,23 +52,34 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Optional
+import sys
+from typing import Callable, Optional
 
+from ..obs.metrics import registry
+from ..obs.prom import render_prometheus
+from .accesslog import AccessLog
 from .service import PlanService, ServeRequest
 
 
 class PlanDaemon:
-    """Wraps a :class:`PlanService` in an asyncio stream server."""
+    """Wraps a :class:`PlanService` in an asyncio stream server.
+
+    ``log`` (an event-capable :class:`AccessLog`, typically
+    stream-backed to stdout) receives the daemon's operational records;
+    ``None`` keeps the daemon silent, as the in-process tests want.
+    """
 
     def __init__(
         self,
         service: PlanService,
         host: str = "127.0.0.1",
         port: int = 0,
+        log: Optional[AccessLog] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.log = log
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown = asyncio.Event()
 
@@ -56,6 +89,10 @@ class PlanDaemon:
         assert self._server is not None, "daemon not started"
         sock = self._server.sockets[0]
         return sock.getsockname()[:2]
+
+    def _event(self, event: str, **fields) -> None:
+        if self.log is not None:
+            self.log.event(event, **fields)
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -81,13 +118,19 @@ class PlanDaemon:
                 line = await reader.readline()
                 if not line:
                     break
+                stripped = line.strip()
+                if stripped == b"/metrics" or stripped.startswith(
+                    b"GET /metrics"
+                ):
+                    await self._scrape(writer, http=stripped != b"/metrics")
+                    break
                 response = await self._dispatch(line)
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
                 if response.get("op") == "shutdown":
                     break
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            self._event("connection_reset")
         finally:
             try:
                 writer.close()
@@ -95,25 +138,54 @@ class PlanDaemon:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
+    async def _scrape(
+        self, writer: asyncio.StreamWriter, http: bool
+    ) -> None:
+        """Answer a raw (non-JSON) ``/metrics`` line and close.
+
+        One exposition per connection: plain for the text client, a
+        minimal ``HTTP/1.0 200`` envelope for curl/Prometheus.
+        """
+        body = render_prometheus().encode()
+        if http:
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            )
+        writer.write(body)
+        await writer.drain()
+
     async def _dispatch(self, line: bytes) -> dict:
         try:
             msg = json.loads(line)
             if not isinstance(msg, dict):
                 raise ValueError("request must be a JSON object")
         except ValueError as exc:
+            self._event("malformed_request", error=str(exc))
             return {"status": "error", "error": f"bad request: {exc}"}
         op = msg.get("op", "plan")
         if op == "ping":
             return {"status": "ok", "pong": True}
         if op == "stats":
             return {"status": "ok", "stats": self.service.stats()}
+        if op == "metrics":
+            if msg.get("format") == "prom":
+                return {
+                    "status": "ok",
+                    "format": "prom",
+                    "metrics": render_prometheus(),
+                }
+            return {"status": "ok", "metrics": registry().snapshot()}
         if op == "shutdown":
             self.shutdown()
             return {"status": "ok", "op": "shutdown"}
         if op != "plan":
+            self._event("malformed_request", error=f"unknown op {op!r}")
             return {"status": "error", "error": f"unknown op {op!r}"}
         source = msg.get("source")
         if not isinstance(source, str) or not source.strip():
+            self._event("malformed_request", error="plan request needs 'source'")
             return {"status": "error", "error": "plan request needs 'source'"}
         request = ServeRequest(
             name=str(msg.get("name", "request")),
@@ -129,10 +201,25 @@ class PlanDaemon:
 
 
 async def run_daemon(
-    service: PlanService, host: str = "127.0.0.1", port: int = 8723
+    service: PlanService,
+    host: str = "127.0.0.1",
+    port: int = 8723,
+    log: Optional[AccessLog] = None,
+    ready: Optional[Callable[[str, int], None]] = None,
 ) -> None:
-    daemon = PlanDaemon(service, host=host, port=port)
+    """Start a daemon and serve until shutdown.
+
+    The bound address is announced as a structured ``listening`` event
+    (stdout by default — machine-parseable, which is how the CI watch
+    step discovers an ephemeral ``--port 0``); ``ready`` additionally
+    receives ``(host, port)`` in-process.
+    """
+    if log is None:
+        log = AccessLog(stream=sys.stdout)
+    daemon = PlanDaemon(service, host=host, port=port, log=log)
     await daemon.start()
     bound_host, bound_port = daemon.address
-    print(f"repro.serve listening on {bound_host}:{bound_port}", flush=True)
+    log.event("listening", host=bound_host, port=bound_port)
+    if ready is not None:
+        ready(bound_host, bound_port)
     await daemon.serve_forever()

@@ -23,7 +23,19 @@ without bound.  Every stage is wrapped in :mod:`repro.obs` spans
 / ``serve.respond``) and feeds the typed metric registry
 (``serve.requests``, ``serve.hits.plan``, ``serve.hits.prefix``,
 ``serve.misses``, ``serve.rejected``; latency histograms
-``serve.warm_ms`` / ``serve.cold_ms``).
+``serve.warm_ms`` / ``serve.cold_ms`` and the unified ``serve.ms``).
+The request counters and latency histograms are **windowed**
+(:mod:`repro.obs.live`): alongside their lifetime totals they carry a
+rolling last-``window``-seconds view, which :meth:`PlanService.stats`
+surfaces under ``window`` and the declarative SLO objectives
+(``slos=``, default :func:`repro.obs.live.default_serve_slos`) burn
+against.  ``serve.inflight`` gauges the requests currently admitted.
+
+When ``access_log`` is set, every request — served, errored, or
+rejected — appends exactly one structured JSON line
+(:class:`repro.serve.accesslog.AccessLog`): name, fingerprint chain,
+cache outcome, latency, status, and (at a deterministic
+``trace_sample`` rate) a per-span time breakdown of that request.
 
 Cache-correctness discipline: payloads are keyed only by *content*
 fingerprints.  If any fingerprint in the chain degrades to an identity
@@ -43,11 +55,29 @@ from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
 from ..obs import spans as obs
+from ..obs.live import SLOTracker, default_serve_slos
 from ..obs.metrics import registry
+from .accesslog import AccessLog
 from .cache import MISS, PlanCache
 
 #: Default target machine when a request names neither nprocs nor topology.
 DEFAULT_NPROCS = 4
+
+#: Default rolling-window width for the serve metrics (seconds).
+DEFAULT_WINDOW = 60.0
+
+#: The serve counters that carry a rolling-window view.
+WINDOWED_COUNTERS = (
+    "serve.requests",
+    "serve.hits.plan",
+    "serve.hits.prefix",
+    "serve.misses",
+    "serve.rejected",
+    "serve.errors",
+)
+
+#: The serve latency histograms that carry a rolling-window view.
+WINDOWED_HISTOGRAMS = ("serve.warm_ms", "serve.cold_ms", "serve.ms")
 
 
 @dataclass(frozen=True)
@@ -71,6 +101,10 @@ class ServeResponse:
     plan: Optional[Mapping[str, Any]] = None
     error: Optional[str] = None
     retry_after: Optional[float] = None
+    #: The content-fingerprint chain the cache was probed with
+    #: (program/options/machine, truncated) — access-log material, not
+    #: part of the wire response.
+    fingerprints: Optional[Mapping[str, str]] = None
 
     @property
     def ok(self) -> bool:
@@ -90,6 +124,28 @@ class ServeResponse:
         if self.retry_after is not None:
             out["retry_after"] = self.retry_after
         return out
+
+
+def _trace_totals(rec, program: str) -> dict:
+    """Collapse one request's recorded spans to per-name totals.
+
+    The registry-backed recorder is process-global, so filter to the
+    roots tagged with *this* request's program before summing — a
+    concurrent untraced request contributes no spans (tracing is
+    guarded by ``_trace_lock``), but a stale root from a prior sample
+    must not leak into this record.
+    """
+    totals: dict[str, dict] = {}
+    for root in rec.roots:
+        if root.tags.get("program") not in (None, program):
+            continue
+        for span in root.walk():
+            entry = totals.setdefault(span.name, {"count": 0, "ms": 0.0})
+            entry["count"] += 1
+            entry["ms"] += span.seconds * 1e3
+    for entry in totals.values():
+        entry["ms"] = round(entry["ms"], 4)
+    return totals
 
 
 def _payload(name: str, label: str, sub) -> dict:
@@ -160,6 +216,11 @@ class PlanService:
         distrib_options: Mapping | None = None,
         default_nprocs: Optional[int] = None,
         default_topology: Optional[str] = None,
+        access_log: Optional[AccessLog | str] = None,
+        trace_sample: float = 0.0,
+        window: float = DEFAULT_WINDOW,
+        slos: Optional[list] = None,
+        clock=None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -173,7 +234,24 @@ class PlanService:
         # nprocs nor topology; per-request fields always win.
         self.default_nprocs = default_nprocs
         self.default_topology = default_topology
+        self.window = float(window)
+        if isinstance(access_log, str):
+            access_log = AccessLog(access_log, trace_sample=trace_sample)
+        self.access_log = access_log
+        # Widen the serve metrics to their rolling-window variants;
+        # lifetime totals carry over, so a restart on the same process
+        # (tests, benchmarks) keeps its cumulative view.  ``clock`` is
+        # injectable for sleep-free expiry tests.
+        reg = registry()
+        for name in WINDOWED_COUNTERS:
+            reg.windowed_counter(name, window=self.window, clock=clock)
+        for name in WINDOWED_HISTOGRAMS:
+            reg.windowed_histogram(name, window=self.window, clock=clock)
+        self.slo = SLOTracker(
+            slos if slos is not None else default_serve_slos()
+        )
         self._lock = threading.Lock()
+        self._trace_lock = threading.Lock()
         self._pending = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
@@ -194,11 +272,15 @@ class PlanService:
                 registry().counter("serve.rejected").inc()
                 return False
             self._pending += 1
-            return True
+        registry().gauge("serve.inflight").inc()
+        return True
 
     def release(self) -> None:
         with self._lock:
-            self._pending = max(0, self._pending - 1)
+            if self._pending == 0:
+                return
+            self._pending -= 1
+        registry().gauge("serve.inflight").dec()
 
     @property
     def pending(self) -> int:
@@ -206,11 +288,13 @@ class PlanService:
             return self._pending
 
     def _rejected(self, request: ServeRequest) -> ServeResponse:
-        return ServeResponse(
+        response = ServeResponse(
             name=request.name,
             status="rejected",
             retry_after=self.retry_after,
         )
+        self._log_access(response)
+        return response
 
     # -- the request path --------------------------------------------------
 
@@ -224,6 +308,50 @@ class PlanService:
             self.release()
 
     def handle_admitted(self, request: ServeRequest) -> ServeResponse:
+        """Post-admission entry: plan, then log exactly one access record.
+
+        Trace sampling wraps the whole request in an
+        :func:`repro.obs.spans.recording` at the access log's
+        deterministic rate — one sampled request at a time, and never
+        while an outer recording is active (a caller's trace must not
+        be hijacked); a skipped sample is just an unsampled record.
+        """
+        log = self.access_log
+        trace = None
+        sampled = (
+            log is not None
+            and log.should_trace()
+            and not obs.enabled()
+            and self._trace_lock.acquire(blocking=False)
+        )
+        if sampled:
+            try:
+                with obs.recording(label=request.name) as rec:
+                    response = self._handle_impl(request)
+                trace = _trace_totals(rec, request.name)
+            finally:
+                self._trace_lock.release()
+        else:
+            response = self._handle_impl(request)
+        self._log_access(response, trace)
+        return response
+
+    def _log_access(
+        self, response: ServeResponse, trace: Optional[dict] = None
+    ) -> None:
+        if self.access_log is None:
+            return
+        self.access_log.access(
+            name=response.name,
+            status=response.status,
+            cached=response.cached,
+            ms=response.seconds * 1e3,
+            fingerprints=response.fingerprints,
+            error=response.error,
+            trace=trace,
+        )
+
+    def _handle_impl(self, request: ServeRequest) -> ServeResponse:
         """The post-admission pipeline: cache probe → plan → respond."""
         from ..batch.engine import machine_label
         from ..passes import MachineSpec, content_fingerprint
@@ -258,6 +386,11 @@ class PlanService:
                     afp = ctx.artifact("align_options").fingerprint
                     mfp = content_fingerprint(machine)
 
+                fingerprints = {
+                    "program": pfp[:12],
+                    "options": afp[:12],
+                    "machine": mfp[:12] if mfp else None,
+                }
                 cacheable = (
                     mfp is not None
                     and not pfp.startswith("v")
@@ -304,12 +437,17 @@ class PlanService:
                         else:
                             reg.counter("serve.misses").inc()
                         reg.histogram("serve.cold_ms").observe(seconds * 1e3)
+                    # The unified latency histogram every request lands
+                    # in, warm or cold — what the rolling window and the
+                    # dashboard's headline p50/p99 track.
+                    reg.histogram("serve.ms").observe(seconds * 1e3)
                     return ServeResponse(
                         name=request.name,
                         status="ok",
                         cached=cached,
                         seconds=seconds,
                         plan=payload,
+                        fingerprints=fingerprints,
                     )
             except Exception as exc:  # noqa: BLE001 - responses, not crashes
                 reg.counter("serve.errors").inc()
@@ -405,6 +543,7 @@ class PlanService:
                 "serve.pool_fallbacks",
             )
         }
+        windows = reg.snapshot(include_cachestats=False).get("windows", {})
         return {
             "pending": self.pending,
             "max_pending": self.max_pending,
@@ -413,10 +552,17 @@ class PlanService:
             "cache_entries": len(self.cache),
             "cache": self.cache.stats.as_dict(),
             "counters": counters,
+            "inflight": reg.gauge("serve.inflight").value or 0,
             "latency": {
                 "warm_ms": reg.histogram("serve.warm_ms").summary(),
                 "cold_ms": reg.histogram("serve.cold_ms").summary(),
             },
+            "window": {
+                name: view
+                for name, view in windows.items()
+                if name.startswith("serve.")
+            },
+            "slo": self.slo.report(),
         }
 
     def close(self) -> None:

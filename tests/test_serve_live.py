@@ -1,0 +1,384 @@
+"""Serve-layer live telemetry: access log, inflight gauge, metrics op.
+
+Covers the observable surface PR 9 added to :mod:`repro.serve` — the
+exactly-once JSON-lines access log with deterministic trace sampling,
+the ``serve.inflight`` gauge, the daemon's ``metrics`` op (JSON and
+Prometheus forms) and raw ``/metrics`` scrape mode, structured daemon
+event logging (the ``listening`` line, malformed requests), windowed
+``stats`` sections decaying on a fake clock (zero sleeps), and the
+daemon protocol under concurrent clients (full stats schema, monotone
+counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import registry
+from repro.serve import (
+    AccessLog,
+    PlanDaemon,
+    PlanService,
+    ServeRequest,
+    ServeResponse,
+    read_access_log,
+    run_daemon,
+)
+
+SRC = """
+real A(64), B(64)
+A(1:63) = A(1:63) + B(2:64)
+"""
+
+SRC2 = """
+real C(32), D(32)
+C(1:32) = C(1:32) + D(1:32)
+"""
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+# -- AccessLog unit behavior ---------------------------------------------------
+
+
+class TestAccessLog:
+    def test_needs_exactly_one_sink(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            AccessLog()
+        with pytest.raises(ValueError, match="exactly one"):
+            AccessLog(str(tmp_path / "a.jsonl"), stream=io.StringIO())
+
+    def test_trace_sample_validated(self):
+        with pytest.raises(ValueError, match="trace_sample"):
+            AccessLog(stream=io.StringIO(), trace_sample=1.5)
+
+    def test_deterministic_sampling(self):
+        log = AccessLog(stream=io.StringIO(), trace_sample=0.5)
+        # every 2nd access, first always sampled
+        assert [log.should_trace() for _ in range(6)] == [
+            True, False, True, False, True, False,
+        ]
+        assert not AccessLog(stream=io.StringIO()).should_trace()
+
+    def test_file_records_round_trip(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = AccessLog(path, clock=lambda: 123.0)
+        log.access(name="q", status="ok", cached="plan", ms=0.61234)
+        log.event("listening", host="h", port=9)
+        access, event = read_access_log(path)
+        assert access == {
+            "ts": 123.0,
+            "kind": "access",
+            "name": "q",
+            "status": "ok",
+            "cached": "plan",
+            "ms": 0.6123,
+        }
+        assert event["kind"] == "event" and event["event"] == "listening"
+        assert event["port"] == 9
+
+    def test_stream_mode_writes_json_lines(self):
+        stream = io.StringIO()
+        AccessLog(stream=stream).event("x", a=1)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "x" and record["a"] == 1
+
+    def test_concurrent_appends_never_tear(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        log = AccessLog(path)
+        n, threads = 200, 8
+
+        def work(tid):
+            for i in range(n):
+                log.access(name=f"t{tid}.{i}", status="ok", cached=None,
+                           ms=1.0)
+
+        ts = [threading.Thread(target=work, args=(t,)) for t in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        records = read_access_log(path)  # json.loads fails on a torn line
+        assert len(records) == n * threads
+        assert len({r["name"] for r in records}) == n * threads
+
+
+# -- service: inflight gauge + access log --------------------------------------
+
+
+class TestServiceTelemetry:
+    def test_inflight_gauge_tracks_admission(self):
+        svc = PlanService(max_pending=4)
+        base = registry().gauge("serve.inflight").value or 0
+        assert svc.try_admit() and svc.try_admit()
+        assert registry().gauge("serve.inflight").value == base + 2
+        assert svc.stats()["inflight"] == base + 2
+        svc.release()
+        svc.release()
+        assert registry().gauge("serve.inflight").value == base
+
+    def test_access_log_exactly_once_all_outcomes(self, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        with PlanService(access_log=path, max_pending=1) as svc:
+            ok = svc.handle(ServeRequest("q", SRC, nprocs=4))
+            err = svc.handle(ServeRequest("bad", "no so//rce here"))
+            assert svc.try_admit()  # fill the admission slot...
+            rej = svc.handle(ServeRequest("q2", SRC2, nprocs=4))
+            svc.release()
+        assert (ok.status, err.status, rej.status) == (
+            "ok", "error", "rejected",
+        )
+        records = read_access_log(path)
+        assert [r["status"] for r in records] == ["ok", "error", "rejected"]
+        assert all(r["kind"] == "access" for r in records)
+        ok_rec, err_rec, rej_rec = records
+        assert set(ok_rec["fingerprints"]) == {
+            "program", "options", "machine",
+        }
+        assert "error" in err_rec and "fingerprints" not in err_rec
+        assert rej_rec["cached"] is None
+
+    def test_trace_sampling_deterministic_and_labeled(self, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        with PlanService(access_log=path, trace_sample=0.5) as svc:
+            for _ in range(4):
+                assert svc.handle(ServeRequest("q", SRC, nprocs=4)).ok
+        records = read_access_log(path)
+        assert ["trace" in r for r in records] == [True, False, True, False]
+        trace = records[0]["trace"]
+        assert trace["serve.request"]["count"] == 1
+        assert trace["serve.request"]["ms"] > 0
+
+    def test_fingerprints_not_on_the_wire(self):
+        resp = ServeResponse(
+            name="q", status="ok", fingerprints={"program": "abc"}
+        )
+        assert "fingerprints" not in resp.to_json()
+
+    def test_windowed_stats_decay_on_fake_clock(self, tmp_path):
+        clock = FakeClock()
+        with PlanService(window=60.0, clock=clock) as svc:
+            assert svc.handle(ServeRequest("q", SRC, nprocs=4)).ok
+            window = svc.stats()["window"]
+            assert window["serve.requests"]["value"] >= 1
+            assert window["serve.ms"]["summary"]["count"] >= 1
+            clock.advance(120.0)
+            window = svc.stats()["window"]
+            assert window["serve.requests"]["value"] == 0
+            assert window["serve.ms"]["summary"]["count"] == 0
+            # lifetime view is untouched by window expiry
+            assert svc.stats()["counters"]["serve.requests"] >= 1
+
+    def test_slo_section_in_stats(self):
+        with PlanService() as svc:
+            slo = svc.stats()["slo"]
+        assert set(slo) == {"warm_latency", "availability"}
+        for entry in slo.values():
+            assert {"kind", "target", "healthy", "lifetime", "window"} <= set(
+                entry
+            )
+
+
+# -- daemon: metrics op, scrape mode, event log --------------------------------
+
+
+def _drive(coro):
+    return asyncio.run(coro)
+
+
+class TestDaemonMetricsOp:
+    def _roundtrip(self, messages, log=None):
+        async def drive():
+            daemon = PlanDaemon(PlanService(), port=0, log=log)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(*daemon.address)
+            replies = []
+            for msg in messages:
+                writer.write(json.dumps(msg).encode() + b"\n")
+                await writer.drain()
+                replies.append(json.loads(await reader.readline()))
+            writer.close()
+            daemon.shutdown()
+            await server
+            return replies
+
+        return _drive(drive())
+
+    def test_metrics_op_json(self):
+        plan, metrics = self._roundtrip(
+            [
+                {"op": "plan", "name": "q", "source": SRC, "nprocs": 4},
+                {"op": "metrics"},
+            ]
+        )
+        assert plan["status"] == "ok"
+        assert metrics["status"] == "ok"
+        snap = metrics["metrics"]
+        assert {"counters", "gauges", "histograms", "windows"} <= set(snap)
+        assert snap["counters"]["serve.requests"] >= 1
+        assert "serve.ms" in snap["windows"]
+
+    def test_metrics_op_prom_format(self):
+        from repro.obs.prom import check_exposition
+
+        (reply,) = self._roundtrip([{"op": "metrics", "format": "prom"}])
+        assert reply["status"] == "ok" and reply["format"] == "prom"
+        assert check_exposition(reply["metrics"]) == []
+
+    def test_malformed_requests_logged_as_events(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        replies = self._roundtrip(
+            [{"op": "wat"}, {"op": "plan", "source": "  "}], log=log
+        )
+        assert all(r["status"] == "error" for r in replies)
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [e["event"] for e in events] == [
+            "malformed_request", "malformed_request",
+        ]
+        assert "wat" in events[0]["error"]
+
+    def test_raw_metrics_line_scrapes_and_closes(self):
+        from repro.obs.prom import check_exposition
+
+        async def drive():
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(*daemon.address)
+            writer.write(b"/metrics\n")
+            await writer.drain()
+            body = (await reader.read()).decode()  # daemon closes: EOF
+            writer.close()
+            daemon.shutdown()
+            await server
+            return body
+
+        body = _drive(drive())
+        assert check_exposition(body) == []
+
+    def test_http_get_metrics(self):
+        async def drive():
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(*daemon.address)
+            writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            payload = (await reader.read()).decode()
+            writer.close()
+            daemon.shutdown()
+            await server
+            return payload
+
+        payload = _drive(drive())
+        head, _, body = payload.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200 OK")
+        assert "text/plain" in head
+        assert body.endswith("\n") and "# TYPE" in body
+
+    def test_run_daemon_emits_structured_listening_event(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+
+        async def drive():
+            service = PlanService()
+            bound = {}
+            task = asyncio.create_task(
+                run_daemon(
+                    service,
+                    host="127.0.0.1",
+                    port=0,
+                    log=log,
+                    ready=lambda h, p: bound.update(host=h, port=p),
+                )
+            )
+            while "port" not in bound:
+                await asyncio.sleep(0.01)
+            reader, writer = await asyncio.open_connection(
+                bound["host"], bound["port"]
+            )
+            writer.write(b'{"op": "shutdown"}\n')
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            writer.close()
+            await task
+            return bound, reply
+
+        bound, reply = _drive(drive())
+        assert reply["status"] == "ok"
+        event = json.loads(stream.getvalue().splitlines()[0])
+        assert event["kind"] == "event" and event["event"] == "listening"
+        assert event["port"] == bound["port"]
+        assert event["host"] == "127.0.0.1"
+
+
+class TestDaemonConcurrentClients:
+    STATS_KEYS = {
+        "pending", "max_pending", "jobs", "cache_dir", "cache_entries",
+        "cache", "counters", "inflight", "latency", "window", "slo",
+    }
+
+    def test_stats_schema_and_monotone_counters_under_load(self):
+        async def client(host, port, name, source):
+            reader, writer = await asyncio.open_connection(host, port)
+            results = []
+            for _ in range(3):
+                writer.write(
+                    json.dumps(
+                        {"op": "plan", "name": name, "source": source,
+                         "nprocs": 4}
+                    ).encode() + b"\n"
+                )
+                await writer.drain()
+                results.append(json.loads(await reader.readline()))
+                writer.write(b'{"op": "stats"}\n')
+                await writer.drain()
+                results.append(json.loads(await reader.readline()))
+            writer.close()
+            return results
+
+        async def drive():
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            host, port = daemon.address
+            per_client = await asyncio.gather(
+                client(host, port, "a", SRC),
+                client(host, port, "b", SRC2),
+                client(host, port, "c", SRC),
+            )
+            daemon.shutdown()
+            await server
+            return per_client
+
+        before = registry().counter("serve.requests").value
+        per_client = _drive(drive())
+        for results in per_client:
+            plans = results[0::2]
+            stats = results[1::2]
+            assert all(p["status"] == "ok" for p in plans)
+            for s in stats:
+                assert s["status"] == "ok"
+                assert self.STATS_KEYS <= set(s["stats"])
+            requests_seen = [
+                s["stats"]["counters"]["serve.requests"] for s in stats
+            ]
+            assert requests_seen == sorted(requests_seen)  # monotone
+        final = registry().counter("serve.requests").value
+        assert final == before + 9  # 3 clients x 3 plans, exactly once
