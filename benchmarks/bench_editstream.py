@@ -1,0 +1,538 @@
+"""Edit-stream load generator: incremental replan vs from-scratch latency.
+
+Models the traffic the delta engine (:mod:`repro.passes.delta`) exists
+for: a developer editing programs one statement at a time and replanning
+after every keystroke-sized change.  Each program of a generated corpus
+is planned once from scratch (the *base*), then a stream of random
+single-statement edits is applied — each edit planned twice:
+
+* **warm** — incrementally, via :func:`repro.passes.delta.replan`
+  against the solved base context;
+* **cold** — from scratch through the full pipeline, exactly as a cache
+  miss would be.
+
+Edit classes are drawn with fixed weights (falling back down the chain
+when a program has no eligible site):
+
+================= ====== =======================================================
+op_swap            0.35  swap ``+``/``-`` in one expression (label-only change)
+intrinsic_swap     0.25  rotate an intrinsic (``cos``→``sin``…) or reduction op
+section_shift      0.20  shift a constant section window by one (extent kept)
+stmt_dup           0.12  duplicate one top-level statement
+iters_change       0.08  shrink a loop's trip count by one iteration
+========================================================================
+
+Gates, asserted here and re-checked by CI against the emitted artifact:
+
+* every incremental plan payload is **byte-identical** (pickled) to its
+  from-scratch counterpart — incrementality must never change a plan;
+* the median per-edit speedup (cold seconds / warm seconds) is at least
+  :data:`EDITSTREAM_SPEEDUP_FLOOR` (5×);
+* a machine-only delta (same program, new processor count) re-enters at
+  the distribution suffix: **zero** alignment passes re-run (pass-trace
+  assertion) and a priced remap is reported for every program.
+
+Results land in ``BENCH_editstream.json`` at the repo root (schema 2
+conventions shared with ``BENCH_serve.json``: cold/warm phase summaries
+with p50/p99 ms and throughput).  Script-runnable::
+
+    python benchmarks/bench_editstream.py --json out/bench_editstream.json \
+        [--programs N] [--edits E] [--seed S]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pickle
+import random
+import time
+
+from repro._io import atomic_write_json
+from repro.align.pipeline import plan_context
+from repro.batch.engine import machine_label
+from repro.ir.affine import AffineForm
+from repro.lang import ast as A
+from repro.lang.generate import generate_corpus
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.machine import format_table
+from repro.obs.metrics import latency_summary
+from repro.passes import MachineSpec, Pipeline, content_fingerprint, replan
+from repro.serve.service import _payload
+
+#: Median per-edit replan must beat from-scratch by at least this factor.
+EDITSTREAM_SPEEDUP_FLOOR = 5.0
+_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+EDITSTREAM_JSON = os.path.join(_ROOT, "BENCH_editstream.json")
+
+#: Benchmark artifact schema (validated by CI): bump on layout changes.
+EDITSTREAM_SCHEMA = 2
+
+#: Passes that must stay clean across a machine-only delta.
+ALIGNMENT_PASSES = (
+    "typecheck",
+    "build-adg",
+    "axis-stride",
+    "replication-offsets",
+    "assemble",
+    "comm-profile",
+)
+
+_INTRINSIC_ROTATE = {
+    "cos": "sin",
+    "sin": "sqrt",
+    "sqrt": "cos",
+    "exp": "log",
+    "log": "tanh",
+    "tanh": "exp",
+    "abs": "sqrt",
+}
+_REDUCE_ROTATE = {
+    "sum": "maxval",
+    "maxval": "minval",
+    "minval": "sum",
+    "product": "sum",
+}
+
+
+# -- AST edit machinery ----------------------------------------------------
+
+
+def _map_expr(e, fn):
+    """Replace the first expression ``fn`` rewrites (preorder); ``None``
+    when nothing matched in this subtree."""
+    r = fn(e)
+    if r is not None:
+        return r
+    if isinstance(e, A.BinOp):
+        left = _map_expr(e.left, fn)
+        if left is not None:
+            return dataclasses.replace(e, left=left)
+        right = _map_expr(e.right, fn)
+        if right is not None:
+            return dataclasses.replace(e, right=right)
+    elif isinstance(e, (A.UnaryOp, A.Intrinsic, A.Transpose, A.Spread, A.Reduce)):
+        operand = _map_expr(e.operand, fn)
+        if operand is not None:
+            return dataclasses.replace(e, operand=operand)
+    elif isinstance(e, A.Gather):
+        table = _map_expr(e.table, fn)
+        if table is not None:
+            return dataclasses.replace(e, table=table)
+        index = _map_expr(e.index, fn)
+        if index is not None:
+            return dataclasses.replace(e, index=index)
+    return None
+
+
+def _map_stmt(s, fn):
+    """Apply :func:`_map_expr` across one statement's expressions
+    (assignment sides, descending into loop/branch bodies)."""
+    if isinstance(s, A.Assign):
+        lhs = _map_expr(s.lhs, fn)
+        if lhs is not None:
+            return dataclasses.replace(s, lhs=lhs)
+        rhs = _map_expr(s.rhs, fn)
+        if rhs is not None:
+            return dataclasses.replace(s, rhs=rhs)
+    elif isinstance(s, A.Do):
+        for j, b in enumerate(s.body):
+            r = _map_stmt(b, fn)
+            if r is not None:
+                return dataclasses.replace(
+                    s, body=s.body[:j] + (r,) + s.body[j + 1 :]
+                )
+    elif isinstance(s, A.If):
+        for attr in ("then_body", "else_body"):
+            body = getattr(s, attr)
+            for j, b in enumerate(body):
+                r = _map_stmt(b, fn)
+                if r is not None:
+                    return dataclasses.replace(
+                        s, **{attr: body[:j] + (r,) + body[j + 1 :]}
+                    )
+    return None
+
+
+def _stmt_exprs(s):
+    if isinstance(s, A.Assign):
+        yield s.lhs
+        yield s.rhs
+
+
+def _count_sites(p: A.Program, pred) -> int:
+    return sum(
+        1
+        for s in A.walk_stmts(p.body)
+        for root in _stmt_exprs(s)
+        for e in A.walk_exprs(root)
+        if pred(e) is not None
+    )
+
+
+def _apply_kth(p: A.Program, pred, mk, k: int):
+    """Rewrite the k-th (document order) matching expression site."""
+    counter = [k]
+
+    def fn(e):
+        info = pred(e)
+        if info is None:
+            return None
+        if counter[0] == 0:
+            counter[0] = -1
+            return mk(e, info)
+        counter[0] -= 1
+        return None
+
+    for i, s in enumerate(p.body):
+        r = _map_stmt(s, fn)
+        if r is not None:
+            return dataclasses.replace(
+                p, body=p.body[:i] + (r,) + p.body[i + 1 :]
+            )
+    return None
+
+
+def _expr_edit(p: A.Program, rng: random.Random, pred, mk):
+    n = _count_sites(p, pred)
+    if not n:
+        return None
+    return _apply_kth(p, pred, mk, rng.randrange(n))
+
+
+def edit_op_swap(p: A.Program, rng: random.Random):
+    """Swap one additive operator — the node label changes, nothing the
+    alignment phases read does, so the whole solution carries over."""
+    pred = lambda e: True if isinstance(e, A.BinOp) and e.op in "+-" else None
+    mk = lambda e, _: dataclasses.replace(e, op="-" if e.op == "+" else "+")
+    return _expr_edit(p, rng, pred, mk)
+
+
+def edit_intrinsic_swap(p: A.Program, rng: random.Random):
+    """Rotate an elementwise intrinsic or a reduction operator."""
+
+    def pred(e):
+        if isinstance(e, A.Intrinsic) and e.name in _INTRINSIC_ROTATE:
+            return "intrinsic"
+        if isinstance(e, A.Reduce) and e.op in _REDUCE_ROTATE:
+            return "reduce"
+        return None
+
+    def mk(e, kind):
+        if kind == "intrinsic":
+            return dataclasses.replace(e, name=_INTRINSIC_ROTATE[e.name])
+        return dataclasses.replace(e, op=_REDUCE_ROTATE[e.op])
+
+    return _expr_edit(p, rng, pred, mk)
+
+
+def edit_section_shift(p: A.Program, rng: random.Random):
+    """Shift one constant section window by ±1, extent preserved — an
+    offset-only change: skeletons survive, the offset LP re-runs."""
+    dims = {d.name: d.dims for d in p.decls}
+
+    def pred(e):
+        if not isinstance(e, A.Ref) or e.name not in dims:
+            return None
+        for j, sub in enumerate(e.subscripts):
+            if (
+                isinstance(sub, A.Slice)
+                and not sub.lo.coeffs
+                and not sub.hi.coeffs
+                and j < len(dims[e.name])
+            ):
+                if sub.hi.const + 1 <= dims[e.name][j]:
+                    return (j, 1)
+                if sub.lo.const - 1 >= 1:
+                    return (j, -1)
+        return None
+
+    def mk(e, info):
+        j, shift = info
+        sub = e.subscripts[j]
+        moved = A.Slice(
+            lo=AffineForm(sub.lo.const + shift),
+            hi=AffineForm(sub.hi.const + shift),
+            step=sub.step,
+        )
+        return dataclasses.replace(
+            e, subscripts=e.subscripts[:j] + (moved,) + e.subscripts[j + 1 :]
+        )
+
+    return _expr_edit(p, rng, pred, mk)
+
+
+def edit_stmt_dup(p: A.Program, rng: random.Random):
+    """Duplicate one top-level statement — always well-typed, always a
+    structural change (extra ADG region), so always a full replan."""
+    if not p.body:
+        return None
+    i = rng.randrange(len(p.body))
+    return dataclasses.replace(
+        p, body=p.body[: i + 1] + (p.body[i],) + p.body[i + 1 :]
+    )
+
+
+def edit_iters_change(p: A.Program, rng: random.Random):
+    """Shrink one top-level loop by an iteration (shrinking never walks
+    a subscript out of an array's bounds, growing can)."""
+    sites = [
+        i
+        for i, s in enumerate(p.body)
+        if isinstance(s, A.Do) and s.hi - s.step >= s.lo
+    ]
+    if not sites:
+        return None
+    i = rng.choice(sites)
+    do = p.body[i]
+    return dataclasses.replace(
+        p, body=p.body[:i] + (dataclasses.replace(do, hi=do.hi - do.step),) + p.body[i + 1 :]
+    )
+
+
+EDIT_CLASSES = (
+    ("op_swap", 0.35, edit_op_swap),
+    ("intrinsic_swap", 0.25, edit_intrinsic_swap),
+    ("section_shift", 0.20, edit_section_shift),
+    ("stmt_dup", 0.12, edit_stmt_dup),
+    ("iters_change", 0.08, edit_iters_change),
+)
+
+#: When the drawn class has no eligible site, try these in order
+#: (``stmt_dup`` is always applicable on a non-empty body).
+FALLBACK_CHAIN = ("op_swap", "intrinsic_swap", "section_shift", "stmt_dup")
+
+
+def random_edit(p: A.Program, rng: random.Random) -> tuple[str, A.Program]:
+    """One weighted random single-statement edit; ``(class, program)``."""
+    r = rng.random()
+    acc = 0.0
+    picked = EDIT_CLASSES[-1][0]
+    for name, w, _ in EDIT_CLASSES:
+        acc += w
+        if r < acc:
+            picked = name
+            break
+    by_name = {name: fn for name, _, fn in EDIT_CLASSES}
+    order = [picked] + [f for f in FALLBACK_CHAIN if f != picked]
+    for name in order:
+        edited = by_name[name](p, rng)
+        if edited is not None:
+            return name, edited
+    raise AssertionError(f"no edit applicable to {p.name}")
+
+
+# -- the experiment --------------------------------------------------------
+
+
+def _summary(latencies: list[float], wall: float) -> dict:
+    s = latency_summary({"lat": latencies}, unit=1e3)["lat"]
+    return {
+        "requests": len(latencies),
+        "wall_seconds": wall,
+        "throughput_rps": len(latencies) / wall if wall else 0.0,
+        "p50_ms": s["p50"],
+        "p99_ms": s["p99"],
+        "max_ms": s["max"],
+        "mean_ms": s["mean"],
+    }
+
+
+def _plan_scratch(program: A.Program, machine: MachineSpec):
+    ctx = plan_context(program)
+    ctx.put("machine", machine)
+    Pipeline().run(ctx, goal=("plan", "distribution"))
+    return ctx
+
+
+def run_editstream_bench(
+    programs: int = 10,
+    edits: int = 3,
+    seed: int = 0,
+    nprocs: int = 4,
+) -> dict:
+    """The full edit-stream experiment; writes ``BENCH_editstream.json``."""
+    corpus = generate_corpus(programs, seed=seed)
+    rng = random.Random(seed)
+    machine = MachineSpec.of(nprocs)
+    label = machine_label(nprocs, None)
+
+    bases = []
+    for sc in corpus:
+        program = sc.parse()
+        bases.append((sc, program, _plan_scratch(program, machine)))
+
+    warm_lat: list[float] = []
+    cold_lat: list[float] = []
+    ratios: list[float] = []
+    per_class: dict[str, dict] = {}
+    strategies: dict[str, int] = {}
+    identical = True
+    round_trip_ok = True
+    t_warm = t_cold = 0.0
+    for sc, program, base_ctx in bases:
+        for _ in range(edits):
+            cls, edited = random_edit(program, rng)
+            # The daemon sees edits as re-parsed source; the AST edit
+            # must survive the pretty/parse round trip unchanged or the
+            # serve-side numbers would not transfer.
+            reparsed = parse(pretty(edited), name=edited.name)
+            round_trip_ok &= content_fingerprint(
+                dataclasses.replace(edited, name=reparsed.name)
+            ) == content_fingerprint(reparsed)
+
+            t0 = time.perf_counter()
+            new_ctx, rpt = replan(
+                base_ctx, program=edited, goal=("plan", "distribution")
+            )
+            dt_warm = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            scratch_ctx = _plan_scratch(edited, machine)
+            dt_cold = time.perf_counter() - t0
+
+            blob_warm = pickle.dumps(_payload(sc.name, label, new_ctx))
+            blob_cold = pickle.dumps(_payload(sc.name, label, scratch_ctx))
+            identical &= blob_warm == blob_cold
+
+            warm_lat.append(dt_warm)
+            cold_lat.append(dt_cold)
+            t_warm += dt_warm
+            t_cold += dt_cold
+            ratios.append(dt_cold / dt_warm if dt_warm else float("inf"))
+            strategies[rpt.strategy] = strategies.get(rpt.strategy, 0) + 1
+            cell = per_class.setdefault(cls, {"count": 0, "ratios": []})
+            cell["count"] += 1
+            cell["ratios"].append(ratios[-1])
+
+    # Elasticity: a machine-only delta must re-enter at the distribute
+    # suffix — zero alignment passes run — and price the move as a remap.
+    md_rerun = 0
+    md_remaps = 0
+    for sc, program, base_ctx in bases:
+        mctx, mrpt = replan(base_ctx, machine=MachineSpec.of(2 * nprocs))
+        md_rerun += sum(
+            1
+            for ev in mctx.trace
+            if ev.get("event") == "run" and ev.get("pass") in ALIGNMENT_PASSES
+        )
+        md_remaps += int(mrpt.remap is not None)
+        assert mrpt.strategy == "machine_only", mrpt.strategy
+
+    ratios_sorted = sorted(ratios)
+    speedup_median = ratios_sorted[len(ratios_sorted) // 2]
+    classes = {
+        name: {
+            "count": cell["count"],
+            "median_speedup": sorted(cell["ratios"])[len(cell["ratios"]) // 2],
+        }
+        for name, cell in sorted(per_class.items())
+    }
+
+    out = {
+        "schema": EDITSTREAM_SCHEMA,
+        "programs": programs,
+        "edits_per_program": edits,
+        "seed": seed,
+        "nprocs": nprocs,
+        "speedup_floor": EDITSTREAM_SPEEDUP_FLOOR,
+        "cold": _summary(cold_lat, t_cold),
+        "warm": _summary(warm_lat, t_warm),
+        "speedup_median": speedup_median,
+        "speedup_p50": (
+            _summary(cold_lat, t_cold)["p50_ms"]
+            / _summary(warm_lat, t_warm)["p50_ms"]
+        ),
+        "plans_identical": identical,
+        "round_trip_ok": round_trip_ok,
+        "classes": classes,
+        "strategies": dict(sorted(strategies.items())),
+        "machine_delta": {
+            "programs": len(bases),
+            "alignment_passes_rerun": md_rerun,
+            "remaps_priced": md_remaps,
+        },
+    }
+    assert identical, "incremental plan payload differs from from-scratch"
+    assert round_trip_ok, "an edit did not survive the pretty/parse round trip"
+    assert speedup_median >= EDITSTREAM_SPEEDUP_FLOOR, (
+        f"median replan speedup {speedup_median:.1f}x under the "
+        f"{EDITSTREAM_SPEEDUP_FLOOR:.0f}x floor"
+    )
+    assert md_rerun == 0, (
+        f"machine-only deltas re-ran {md_rerun} alignment passes"
+    )
+    assert md_remaps == len(bases), "machine delta without a priced remap"
+    atomic_write_json(EDITSTREAM_JSON, out)
+    return out
+
+
+def test_editstream_gate(benchmark, report):
+    stats = benchmark.pedantic(run_editstream_bench, rounds=1, iterations=1)
+    rows = [
+        (
+            phase,
+            str(stats[phase]["requests"]),
+            f"{stats[phase]['throughput_rps']:.0f}/s",
+            f"{stats[phase]['p50_ms']:.3f}ms",
+            f"{stats[phase]['p99_ms']:.3f}ms",
+        )
+        for phase in ("cold", "warm")
+    ]
+    rows.append(
+        ("SPEEDUP", "", "", f"{stats['speedup_p50']:.1f}x p50",
+         f"{stats['speedup_median']:.1f}x median")
+    )
+    for name, cell in stats["classes"].items():
+        rows.append(
+            (
+                f"  {name}",
+                str(cell["count"]),
+                "",
+                "",
+                f"{cell['median_speedup']:.1f}x",
+            )
+        )
+    report.table(
+        format_table(
+            ["phase", "edits", "throughput", "p50", "p99"],
+            rows,
+            title=(
+                "Edit stream: replan vs from-scratch "
+                f"(gate: >={EDITSTREAM_SPEEDUP_FLOOR:.0f}x median, "
+                "identical plans)"
+            ),
+        )
+    )
+    assert stats["plans_identical"]
+    assert stats["speedup_median"] >= EDITSTREAM_SPEEDUP_FLOOR
+    assert stats["machine_delta"]["alignment_passes_rerun"] == 0
+    assert os.path.exists(EDITSTREAM_JSON)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", metavar="OUT", help="also write results to OUT")
+    ap.add_argument("--programs", type=int, default=10)
+    ap.add_argument("--edits", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--nprocs", type=int, default=4)
+    args = ap.parse_args(argv)
+    stats = run_editstream_bench(
+        programs=args.programs,
+        edits=args.edits,
+        seed=args.seed,
+        nprocs=args.nprocs,
+    )
+    print(json.dumps(stats, indent=2))
+    if args.json:
+        os.makedirs(os.path.dirname(args.json) or ".", exist_ok=True)
+        atomic_write_json(args.json, stats)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Usage::
                          [--no-replication] [--static] [--dot OUT.dot]
                          [--measure identity|block|cyclic] [--procs N,N]
                          [--distribute P] [--phases] [--topology SPEC]
+                         [--replan-from BASE]
                          [--trace-passes] [--no-vectorize]
                          [--trace-out OUT.json] [--metrics]
                          [--prom-out OUT.prom]
@@ -35,6 +36,15 @@ integer N (a generated N-program corpus from
 :mod:`repro.lang.generate`); programs are planned concurrently over a
 process pool and the aggregate report — throughput, failures, cache hit
 rates, per-pass timings — is printed, optionally dumped as JSON.
+
+``--replan-from BASE`` demonstrates incremental re-planning: BASE is
+planned from scratch, then FILE is treated as an edit of it and
+re-planned through the delta engine (:mod:`repro.passes.delta`) —
+unchanged alignment artifacts carry over, and the printed delta report
+shows the statement diff, the dirty ADG region, and which passes ran
+versus reused per pass (the same dirty/clean column ``--explain``
+shows).  The incremental plan is identical to a from-scratch plan of
+FILE; only the work to get there shrinks.
 
 Every plan is produced by the staged pass pipeline
 (:mod:`repro.passes`).  ``--explain`` prints the pass graph the chosen
@@ -239,6 +249,13 @@ def main(argv: list[str] | None = None) -> int:
         "exposition (validate with python -m repro.obs.prom --check)",
     )
     ap.add_argument(
+        "--replan-from",
+        metavar="BASE",
+        help="incremental mode: plan BASE first, then re-plan FILE as an "
+        "edit of it — unchanged alignment artifacts carry over and the "
+        "delta report (dirty region, per-pass reuse) is printed",
+    )
+    ap.add_argument(
         "--explain",
         action="store_true",
         help="print the pass graph the chosen flags would run, then exit",
@@ -318,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
             ("--dot", args.dot is not None),
             ("--phases", args.phases),
             ("--trace-passes", args.trace_passes),
+            ("--replan-from", args.replan_from is not None),
         ]:
             if present:
                 ap.error(f"{flag} cannot be combined with --batch")
@@ -329,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         ]:
             if present:
                 ap.error(f"{flag} requires --batch")
+    if args.replan_from is not None and args.phases:
+        ap.error("--replan-from cannot be combined with --phases")
 
     kw = {}
     if args.algorithm == "fixed":
@@ -354,27 +374,50 @@ def main(argv: list[str] | None = None) -> int:
         )
         program = parse(source, name=args.file)
         pipeline = Pipeline()
-        ctx = plan_context(
-            program,
+        align_kw = dict(
             algorithm=args.algorithm,
             replication=not args.no_replication,
             mobile=not args.static,
             **kw,
         )
+        machine = None
         goals = ["plan"]
         if args.distribute is not None:
             machine_kw = {"vectorize": False} if args.no_vectorize else {}
-            ctx.put(
-                "machine",
-                MachineSpec.of(
-                    args.distribute, topology=args.topology, **machine_kw
-                ),
+            machine = MachineSpec.of(
+                args.distribute, topology=args.topology, **machine_kw
             )
             goals.append("distribution")
+        if args.replan_from is not None:
+            # Incremental mode: solve the base program fully, then
+            # re-enter the pipeline for FILE as an edit of it.
+            from .passes import replan
+
+            base_program = parse(
+                open(args.replan_from).read(), name=args.replan_from
+            )
+            base_ctx = plan_context(base_program, **align_kw)
+            if machine is not None:
+                base_ctx.put("machine", machine)
+            pipeline.run(base_ctx, goal=tuple(goals))
+            ctx, dreport = replan(
+                base_ctx,
+                program=program,
+                machine=machine,
+                goal=tuple(goals),
+                pipeline=pipeline,
+            )
+            print(dreport.render())
+            print(pipeline.explain(goal=tuple(goals), delta=dreport))
+            print()
+        else:
+            ctx = plan_context(program, **align_kw)
+            if machine is not None:
+                ctx.put("machine", machine)
             if args.phases:
                 ctx.put("phase_options", {})
                 goals.append("phase_plan")
-        pipeline.run(ctx, goal=tuple(goals))
+            pipeline.run(ctx, goal=tuple(goals))
         plan = ctx.get("plan")
         print(plan.report())
 

@@ -157,7 +157,15 @@ class ADGBuilder:
     # -- entry point ---------------------------------------------------------
 
     def build(self) -> ADG:
+        # Every node is stamped with the provenance tag of the top-level
+        # statement (or declaration) being built when it was created —
+        # ``"s<i>"`` / ``"decl:<name>"`` — so the delta engine can map a
+        # program diff onto the dirty ADG region.  Distributor nodes
+        # spliced lazily in :meth:`connect` inherit the tag of the use
+        # that triggered them, which is one of the statements reading
+        # the definition — inside the dirty closure either way.
         for d in self.program.decls:
+            self.adg.current_stmt = f"decl:{d.name}"
             node = self.adg.add_node(
                 NodeKind.SOURCE,
                 SourcePayload(d.name, d.readonly, d.replicate_hint),
@@ -165,13 +173,17 @@ class ADGBuilder:
             )
             out = node.add_port("out", self._decl_shape(d.name), self.space, True)
             self.defs[d.name] = out
-        self._build_block(self.program.body)
+        for i, s in enumerate(self.program.body):
+            self.adg.current_stmt = f"s{i}"
+            self._build_block((s,))
         for d in self.program.decls:
+            self.adg.current_stmt = f"decl:{d.name}"
             node = self.adg.add_node(
                 NodeKind.SINK, SinkPayload(d.name), f"sink({d.name})"
             )
             inp = node.add_port("in", self._decl_shape(d.name), self.space, False)
             self.connect(self.defs[d.name], inp)
+        self.adg.current_stmt = ""
         self.adg.validate()
         return self.adg
 

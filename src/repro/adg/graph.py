@@ -62,13 +62,23 @@ class Port:
 
 @dataclass(eq=False)
 class ADGNode:
-    """A computation (or structural) node with typed constraint payload."""
+    """A computation (or structural) node with typed constraint payload.
+
+    ``stmt`` is build provenance: the tag of the top-level statement (or
+    declaration) whose construction created the node — ``"s<i>"`` for
+    the i-th body statement, ``"decl:<name>"`` for declaration
+    sources/sinks, ``""`` when unknown (e.g. graphs unpickled from an
+    older cache).  The delta engine (:mod:`repro.passes.delta`) uses it
+    to map a program diff onto the dirty ADG region; nothing in the
+    alignment solvers reads it.
+    """
 
     kind: NodeKind
     payload: NodePayload
     label: str
     nid: int = -1
     ports: list[Port] = field(default_factory=list)
+    stmt: str = ""
 
     @property
     def uid(self) -> str:
@@ -128,6 +138,10 @@ class ADGEdge:
 class ADG:
     """The alignment-distribution graph for one procedure."""
 
+    # Class-level default so graphs unpickled from pre-provenance caches
+    # still answer the attribute; the builder sets the instance copy.
+    current_stmt: str = ""
+
     def __init__(self, name: str = "main", template_rank: int = 1) -> None:
         self.name = name
         self.template_rank = template_rank
@@ -142,7 +156,9 @@ class ADG:
     # -- construction -----------------------------------------------------
 
     def add_node(self, kind: NodeKind, payload: NodePayload, label: str) -> ADGNode:
-        n = ADGNode(kind, payload, label, nid=len(self.nodes))
+        n = ADGNode(
+            kind, payload, label, nid=len(self.nodes), stmt=self.current_stmt
+        )
         self.nodes.append(n)
         return n
 

@@ -588,6 +588,34 @@ def prefix_context(request: PlanRequest, align_kw: Mapping | None = None):
     return ctx
 
 
+def replan_context(base_ctx, request: PlanRequest, align_kw: Mapping | None = None):
+    """Incremental counterpart of :func:`prefix_context`.
+
+    Parses the (edited) request and re-plans the machine-independent
+    prefix against an already-solved base context, carrying over every
+    alignment artifact the edit left valid
+    (:func:`repro.passes.delta.replan`).  ``align_kw`` must match the
+    base's — differing options change the ``align_options`` artifact,
+    so the delta engine would refuse the carry anyway; the base context
+    is never mutated.  Returns ``(ctx, DeltaReport)``.
+    """
+    from ..passes.delta import replan
+
+    program = parse(request.source, name=request.name)
+    if align_kw:
+        from ..passes import AlignOptions, content_fingerprint
+
+        opts = AlignOptions.of(**dict(align_kw))
+        if content_fingerprint(opts) != base_ctx.artifact(
+            "align_options"
+        ).fingerprint:
+            raise ValueError(
+                "replan_context: align_kw differs from the base context's "
+                "align_options; plan cold with prefix_context instead"
+            )
+    return replan(base_ctx, program=program, goal=("plan", "profile"))
+
+
 def _prefix_worker(payload: tuple):
     """Stage 1: run the machine-independent pipeline prefix for one
     program; the returned PlanContext crosses the pool boundary (so

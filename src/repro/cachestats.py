@@ -29,12 +29,12 @@ def _cell(name: str) -> list[int]:
     return _STATS.setdefault(name, [0, 0])
 
 
-def record_hit(name: str) -> None:
-    _cell(name)[0] += 1
+def record_hit(name: str, n: int = 1) -> None:
+    _cell(name)[0] += n
 
 
-def record_miss(name: str) -> None:
-    _cell(name)[1] += 1
+def record_miss(name: str, n: int = 1) -> None:
+    _cell(name)[1] += n
 
 
 def snapshot() -> dict[str, tuple[int, int]]:

@@ -46,6 +46,14 @@ from .core import (
     content_fingerprint,
     trace_table,
 )
+from .delta import (
+    DeltaReport,
+    ProgramDiff,
+    diff_programs,
+    dirty_region,
+    replan,
+    statement_key,
+)
 from .distrib_passes import (
     CommProfilePass,
     DistributePass,
@@ -62,6 +70,7 @@ __all__ = [
     "AxisStridePass",
     "BuildADGPass",
     "CommProfilePass",
+    "DeltaReport",
     "DistributePass",
     "FixpointPass",
     "FunctionPass",
@@ -74,10 +83,15 @@ __all__ = [
     "Pipeline",
     "PipelineError",
     "PlanContext",
+    "ProgramDiff",
     "ReplicationFixpointPass",
     "TypecheckPass",
     "alignment_passes",
     "content_fingerprint",
     "default_passes",
+    "diff_programs",
+    "dirty_region",
+    "replan",
+    "statement_key",
     "trace_table",
 ]

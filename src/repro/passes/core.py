@@ -223,10 +223,24 @@ class PlanContext:
 
     # -- artifact access ---------------------------------------------------
 
-    def put(self, key: str, value: Any) -> Artifact:
+    def put(
+        self, key: str, value: Any, fingerprint: Optional[str] = None
+    ) -> Artifact:
+        """Store ``value`` under ``key``.
+
+        ``fingerprint`` lets a caller that already *knows* the content
+        fingerprint (the delta engine carrying a copied artifact whose
+        base ledger entry is content-addressed) skip recomputing it.
+        The caller owns the claim that the value's content matches.
+        """
         self._clock += 1
         art = Artifact(
-            key, value, self._clock, _fingerprint(value, self._clock, self._nonce)
+            key,
+            value,
+            self._clock,
+            fingerprint
+            if fingerprint is not None
+            else _fingerprint(value, self._clock, self._nonce),
         )
         self._artifacts[key] = art
         return art
@@ -573,16 +587,33 @@ class Pipeline:
 
     # -- introspection -----------------------------------------------------
 
-    def explain(self, goal: str | Sequence[str] | None = None) -> str:
-        """Render the pass graph the given goal would execute."""
+    def explain(
+        self,
+        goal: str | Sequence[str] | None = None,
+        delta: Any = None,
+    ) -> str:
+        """Render the pass graph the given goal would execute.
+
+        ``delta`` (a :class:`~repro.passes.delta.DeltaReport`, or any
+        object with a ``pass_status`` mapping) adds a dirty/clean column
+        showing what an incremental replan actually did per pass.
+        """
         chosen = self.select(goal)
         label = goal if goal is None or isinstance(goal, str) else ", ".join(goal)
         lines = ["planning pipeline" + (f" (goal: {label})" if label else "")]
+        status = getattr(delta, "pass_status", None)
         for i, p in enumerate(chosen):
             kind = "fixpoint" if isinstance(p, FixpointPass) else "pass"
             req = ", ".join(p.requires) or "-"
             prov = ", ".join(p.provides)
-            lines.append(f"  {i + 1}. {p.name:<22s} [{kind}]  {req}  ->  {prov}")
+            col = (
+                f" [{status.get(p.name, 'pending'):<14s}]"
+                if status is not None
+                else ""
+            )
+            lines.append(
+                f"  {i + 1}. {p.name:<22s} [{kind}]{col}  {req}  ->  {prov}"
+            )
         return "\n".join(lines)
 
     def stats_table(self) -> str:

@@ -1,0 +1,722 @@
+"""Delta-driven incremental re-planning.
+
+A single-statement edit to a program changes its content fingerprint,
+so the serve cache (:mod:`repro.serve`) treats the edited program as a
+cold miss and the pipeline re-runs every pass from typecheck through
+distribute — even though most of the ADG and almost every alignment
+artifact are untouched.  This module closes that gap:
+
+* :func:`diff_programs` compares two programs statement-by-statement
+  under stable *statement keys* (content fingerprints — the statement
+  analogue of ``Port.key``) and reports which top-level statements
+  changed.
+* :func:`dirty_region` maps the changed statements onto the new ADG via
+  the build-time provenance tags (``ADGNode.stmt``) and takes the
+  forward reachability closure: the dirty nodes and ports an edit can
+  influence.  This drives the *accounting* (dirty/total counts in the
+  trace, ``passes.delta.dirty_ports``).
+* :func:`replan` re-enters the pipeline against a fresh context with
+  unchanged artifacts carried over from a prior ``PlanContext`` —
+  skeletons, replication labels, mobile offsets, per-port alignments
+  and the comm profile — so only the genuinely invalidated suffix
+  recomputes.  A machine-only delta (same program, new
+  nprocs/topology) forks the base context and re-runs exactly the
+  distribution suffix, pricing the move with the existing remap cost
+  model (:func:`repro.distrib.remap.remap_cost`).
+
+Carry-over *soundness* is decided by projection fingerprints, not by
+the diff itself.  Two projections of the ``(program, adg)`` pair are
+hashed:
+
+* the **alignment projection** keeps everything the alignment phases
+  read — node kinds, payload content, port shapes/spaces, edge weights
+  — and masks what they do not (node display labels, the reduce
+  operator, which only executors read);
+* the **skeleton projection** additionally masks section offsets
+  (slice lower bounds, scalar subscript values): axis/stride labeling
+  is offset-blind, so an offset-only edit preserves the skeleton
+  solution even though the mobile-offset LP must re-run.
+
+Equal alignment projections mean the alignment solvers would see
+byte-for-byte identical inputs, so every alignment artifact of the
+base is *the* answer for the edited program and carrying it over is
+exact, not approximate — the differential harness asserts the
+resulting plans match from-scratch plans on every edit pair.  Any
+value that fails content fingerprinting degrades the projection to
+``None``, which disables carry-over rather than risking a stale reuse.
+
+Every per-pass reuse/recompute shows up in the context trace, the
+``passes.artifact_reuse`` cachestats cell, and the obs counters
+``passes.delta.dirty_ports`` / ``passes.delta.reused``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from .. import cachestats
+from ..adg.graph import ADG
+from ..adg.nodes import (
+    EmptyPayload,
+    ReducePayload,
+    SectionPayload,
+    SinkPayload,
+    SourcePayload,
+    SpreadPayload,
+    TransformerPayload,
+)
+from ..lang import ast as A
+from ..obs import spans as obs
+from ..obs.metrics import registry
+from .core import Pipeline, PlanContext, content_fingerprint
+
+__all__ = [
+    "DeltaReport",
+    "ProgramDiff",
+    "diff_programs",
+    "dirty_region",
+    "replan",
+    "statement_key",
+]
+
+
+# -- statement keys and program diffing -----------------------------------
+
+
+def statement_key(stmt: Any) -> str:
+    """A stable content key for one top-level statement.
+
+    The statement analogue of ``Port.key``: two parses of the same
+    source text yield the same key, across processes.  Every AST node
+    is a frozen dataclass, so :func:`content_fingerprint` covers the
+    whole subtree; the identity fallback (only reachable for a subtree
+    exceeding the fingerprint budget) never matches anything, which
+    degrades the diff to "changed" — conservative, never stale.
+    """
+    fp = content_fingerprint(stmt)
+    return fp if fp is not None else f"!opaque-{id(stmt):x}"
+
+
+@dataclass(frozen=True)
+class ProgramDiff:
+    """A statement-level diff between a base and a new program.
+
+    ``matched`` pairs base/new body indices whose statement keys agree
+    (a longest common subsequence, so a statement moving past an edit
+    still matches); ``changed_base`` / ``changed_new`` are the
+    unmatched indices on each side.  ``decls_changed`` flags any
+    difference in the declaration list, which can invalidate every
+    port (shapes, readonly-ness) and is never treated as local.
+    """
+
+    base_keys: tuple[str, ...]
+    new_keys: tuple[str, ...]
+    matched: tuple[tuple[int, int], ...]
+    changed_base: tuple[int, ...]
+    changed_new: tuple[int, ...]
+    decls_changed: bool
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.changed_base
+            and not self.changed_new
+            and not self.decls_changed
+        )
+
+    def summary(self) -> str:
+        if self.identical:
+            return "identical"
+        parts = [
+            f"{len(self.changed_new)}/{len(self.new_keys)} statements changed"
+        ]
+        dropped = len(self.changed_base) - len(self.changed_new)
+        if dropped > 0:
+            parts.append(f"{dropped} removed")
+        elif dropped < 0:
+            parts.append(f"{-dropped} added")
+        if self.decls_changed:
+            parts.append("decls changed")
+        return ", ".join(parts)
+
+
+def _lcs_pairs(a: Sequence[str], b: Sequence[str]) -> list[tuple[int, int]]:
+    """Longest-common-subsequence index pairs of two key sequences.
+
+    Bodies are tens of statements at most, so the quadratic DP is
+    plenty; ties break toward the earliest match, keeping the pairing
+    deterministic.
+    """
+    n, m = len(a), len(b)
+    L = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        for j in range(m - 1, -1, -1):
+            L[i][j] = (
+                L[i + 1][j + 1] + 1
+                if a[i] == b[j]
+                else max(L[i + 1][j], L[i][j + 1])
+            )
+    pairs: list[tuple[int, int]] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            pairs.append((i, j))
+            i += 1
+            j += 1
+        elif L[i + 1][j] >= L[i][j + 1]:
+            i += 1
+        else:
+            j += 1
+    return pairs
+
+
+def diff_programs(base: A.Program, new: A.Program) -> ProgramDiff:
+    """Statement-level diff of two programs (see :class:`ProgramDiff`)."""
+    base_keys = tuple(statement_key(s) for s in base.body)
+    new_keys = tuple(statement_key(s) for s in new.body)
+    matched = tuple(_lcs_pairs(base_keys, new_keys))
+    mb = {i for i, _ in matched}
+    mn = {j for _, j in matched}
+    decls_changed = content_fingerprint(base.decls) != content_fingerprint(
+        new.decls
+    ) or content_fingerprint(new.decls) is None
+    return ProgramDiff(
+        base_keys=base_keys,
+        new_keys=new_keys,
+        matched=matched,
+        changed_base=tuple(i for i in range(len(base_keys)) if i not in mb),
+        changed_new=tuple(j for j in range(len(new_keys)) if j not in mn),
+        decls_changed=decls_changed,
+    )
+
+
+# -- dirty-region computation ---------------------------------------------
+
+
+def dirty_region(adg: ADG, diff: ProgramDiff) -> tuple[set[int], set[str]]:
+    """Dirty ``(node ids, port keys)`` of ``adg`` under ``diff``.
+
+    Seeds are the nodes whose provenance tag (``ADGNode.stmt``) names a
+    changed statement — or *any* declaration node when the declaration
+    list changed — plus nodes with unknown provenance (older pickled
+    graphs), which are conservatively dirty.  The region is the forward
+    dataflow closure of the seeds: everything an edit's new values can
+    reach, hence everything whose alignment decision the edit could
+    perturb through the cost terms downstream.
+    """
+    tags = {f"s{j}" for j in diff.changed_new}
+    decls_dirty = diff.decls_changed
+    dirty: set[int] = set()
+    frontier: list = []
+    for n in adg.nodes:
+        seeded = (
+            n.stmt in tags
+            or n.stmt == ""
+            or (decls_dirty and n.stmt.startswith("decl:"))
+        )
+        if seeded:
+            dirty.add(n.nid)
+            frontier.append(n)
+    while frontier:
+        n = frontier.pop()
+        for p in n.outputs():
+            for e in adg.out_edges(p):
+                m = e.head.node
+                if m.nid not in dirty:
+                    dirty.add(m.nid)
+                    frontier.append(m)
+    ports = {p.key for n in adg.nodes if n.nid in dirty for p in n.ports}
+    return dirty, ports
+
+
+# -- projection fingerprints ----------------------------------------------
+
+
+def _payload_key(payload: Any, offsets: bool) -> Optional[str]:
+    """Canonical key of one node payload under the given projection.
+
+    ``offsets=True`` is the alignment projection, ``offsets=False`` the
+    skeleton projection (section lower bounds and scalar subscript
+    values masked — they only ever reach the offset terms of the
+    alignment constraints, never the axis/stride labels).  The reduce
+    operator is masked in both: no planning phase reads it (the reduced
+    axis is released regardless of whether it folds with ``sum`` or
+    ``maxval``).  Returns ``None`` for content that cannot be
+    fingerprinted, which poisons the whole projection.
+    """
+    if isinstance(payload, EmptyPayload):
+        return "empty"
+    if isinstance(payload, ReducePayload):
+        return f"reduce(dim={payload.dim})"
+    if isinstance(payload, SectionPayload):
+        subs = []
+        for s in payload.subscripts:
+            if offsets:
+                fp = content_fingerprint(s)
+                if fp is None:
+                    return None
+                subs.append(fp)
+            elif s.kind == "slice":
+                fp = content_fingerprint(s.step)
+                if fp is None:
+                    return None
+                subs.append(f"slice:step={fp}")
+            else:
+                subs.append(s.kind)  # "index" / "full": offset-only content
+        return f"section({payload.array};{','.join(subs)})"
+    if isinstance(
+        payload, (SpreadPayload, TransformerPayload, SourcePayload, SinkPayload)
+    ):
+        # Transformer values (loop bounds/steps) stay in both
+        # projections: steps reach strides, and entry/exit values feed
+        # the iteration spaces the stride DP weighs candidates by.
+        return content_fingerprint(payload)
+    return content_fingerprint(payload)
+
+
+def _projection(program: A.Program, adg: ADG, offsets: bool) -> Optional[str]:
+    """Projection fingerprint of everything the planning phases read.
+
+    Node display labels and provenance tags are excluded (cosmetic), so
+    e.g. swapping ``+`` for ``-`` — which only changes an ELEMENTWISE
+    node's label — leaves the alignment projection fixed and the whole
+    alignment solution carries over.  ``None`` when any constituent is
+    not content-addressable: carry-over is then disabled.
+    """
+    from ..align.replication import read_only_arrays
+
+    # Shapes, spaces and edge weights are heavily shared between ports
+    # (one iteration space serves a whole loop nest), so fingerprints
+    # are memoized by object identity for the duration of this walk.
+    # The memo holds a reference alongside each digest — an id() can
+    # only be recycled after its object is collected.
+    memo: dict[int, tuple[Any, Optional[str]]] = {}
+
+    def _fp(obj: Any) -> Optional[str]:
+        hit = memo.get(id(obj))
+        if hit is not None:
+            return hit[1]
+        digest = content_fingerprint(obj)
+        memo[id(obj)] = (obj, digest)
+        return digest
+
+    parts = [
+        f"rank={adg.template_rank}",
+        "ro=" + ",".join(sorted(read_only_arrays(program))),
+    ]
+    for n in adg.nodes:
+        pk = _payload_key(n.payload, offsets)
+        if pk is None:
+            return None
+        parts.append(f"n{n.nid}:{n.kind.name}:{pk}")
+        for p in n.ports:
+            fsh = _fp(p.shape)
+            fsp = _fp(p.space)
+            if fsh is None or fsp is None:
+                return None
+            parts.append(
+                f"p{p.key}:{p.name}:{int(p.is_output)}:{fsh}:{fsp}"
+            )
+    for e in adg.edges:
+        fw = _fp(e.weight)
+        fsp = _fp(e.space)
+        if fw is None or fsp is None:
+            return None
+        parts.append(
+            f"e{e.eid}:{e.tail.key}>{e.head.key}:{fw}:{fsp}:"
+            f"{e.control_weight!r}"
+        )
+    return hashlib.sha1("|".join(parts).encode()).hexdigest()[:16]
+
+
+def _base_projection(
+    base: PlanContext, program: A.Program, adg: ADG, offsets: bool
+) -> Optional[str]:
+    """`_projection` of the *base* side, memoized on the base context.
+
+    A base context is replanned against many times (one edit stream =
+    one base, dozens of edits) and its program/graph never change, so
+    the projection is computed once per (program, adg, offsets) triple.
+    The memo keeps references to the keyed objects: identity keys stay
+    valid exactly as long as the objects they name are alive.
+    """
+    try:
+        memo = base.__dict__.setdefault("_delta_proj_memo", {})
+    except AttributeError:  # slotted/frozen stand-ins in tests
+        return _projection(program, adg, offsets)
+    key = (id(program), id(adg), offsets)
+    hit = memo.get(key)
+    if hit is None:
+        hit = (program, adg, _projection(program, adg, offsets))
+        memo[key] = hit
+    return hit[2]
+
+
+# -- copy-on-write carriers -----------------------------------------------
+
+
+def _cow_profile(profile):
+    """A copy-on-write clone of a comm profile.
+
+    Containers the distribution search mutates — the hop memo, and the
+    record list in principle — are copied; the records themselves and
+    the lazily-compiled front tensors are immutable-in-practice and
+    shared.  The base context's profile is never touched by a replan.
+    """
+    return dataclasses.replace(
+        profile,
+        records=list(profile.records),
+        _hops_cache=dict(profile._hops_cache),
+    )
+
+
+#: Per-port (or per-record) entry counts of the carriable artifacts, for
+#: the reused/recomputed accounting.  Scalars count as one entry.
+def _entries(key: str, value: Any) -> int:
+    try:
+        if key == "skeletons":
+            return len(value.skeletons)
+        if key == "replication":
+            return len(value.labels)
+        if key == "offsets":
+            return len(value.offsets)
+        if key == "profile":
+            return len(value.records)
+        if key in ("alignments", "replicated"):
+            return len(value)
+    except (AttributeError, TypeError):
+        return 1
+    return 1
+
+
+# -- the report -----------------------------------------------------------
+
+
+@dataclass
+class DeltaReport:
+    """What one incremental replan did and why.
+
+    ``strategy`` is one of ``identical`` (nothing changed — pure
+    reuse), ``machine_only`` (distribute suffix re-ran against a new
+    machine), ``carry_all`` (every alignment artifact carried, only the
+    distribution suffix ran), ``carry_skeletons`` (axis/stride carried,
+    offsets onward re-ran), ``full`` (nothing carriable).  ``reused`` /
+    ``recomputed`` count artifact *entries* (per-port map sizes), the
+    same granularity ``passes.artifact_reuse`` accumulates.
+    """
+
+    strategy: str
+    diff: Optional[ProgramDiff]
+    dirty_nodes: int = 0
+    dirty_ports: int = 0
+    total_nodes: int = 0
+    total_ports: int = 0
+    reused: dict[str, int] = field(default_factory=dict)
+    recomputed: dict[str, int] = field(default_factory=dict)
+    pass_status: dict[str, str] = field(default_factory=dict)
+    remap: Any = None  # CostVector for machine deltas with a base distribution
+    seconds: float = 0.0
+
+    @property
+    def reused_entries(self) -> int:
+        return sum(self.reused.values())
+
+    @property
+    def recomputed_entries(self) -> int:
+        return sum(self.recomputed.values())
+
+    def render(self) -> str:
+        lines = [f"delta replan: strategy={self.strategy}"]
+        if self.diff is not None:
+            lines.append(f"  diff: {self.diff.summary()}")
+        lines.append(
+            f"  dirty region: {self.dirty_nodes}/{self.total_nodes} nodes, "
+            f"{self.dirty_ports}/{self.total_ports} ports"
+        )
+
+        def _fmt(counts: dict[str, int]) -> str:
+            return (
+                ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+                or "none"
+            )
+
+        lines.append(
+            f"  reused:     {_fmt(self.reused)} "
+            f"({self.reused_entries} entries)"
+        )
+        lines.append(
+            f"  recomputed: {_fmt(self.recomputed)} "
+            f"({self.recomputed_entries} entries)"
+        )
+        for name, status in self.pass_status.items():
+            lines.append(f"  pass {name:<22s} {status}")
+        if self.remap is not None:
+            lines.append(
+                f"  remap: hops={self.remap.hops} moved={self.remap.moved}"
+            )
+        lines.append(f"  seconds: {self.seconds:.4f}")
+        return "\n".join(lines)
+
+
+# -- the replan driver ----------------------------------------------------
+
+#: Machine-independent alignment artifacts carried by the full-alignment
+#: strategy, in pipeline order (assemble's whole input/output surface).
+_ALIGN_ARTIFACTS = (
+    "skeletons",
+    "replication",
+    "offsets",
+    "replicated",
+    "replication_rounds",
+    "alignments",
+    "total_cost",
+)
+
+
+def _machine_fp(machine) -> Optional[str]:
+    return None if machine is None else content_fingerprint(machine)
+
+
+def _carry_skeletons(ctx: PlanContext, base: PlanContext, new_adg: ADG):
+    """Carry the axis/stride solution onto ``ctx``, rebound to the new
+    graph's ports (key sets are identical whenever a projection
+    matched).  Containers are copied so later passes can never reach
+    back into the base context's maps."""
+    skel = base.get("skeletons")
+    rebound = dataclasses.replace(
+        skel,
+        skeletons=dict(skel.skeletons),
+        port_by_key={p.key: p for p in new_adg.ports()},
+    )
+    ctx.put("skeletons", rebound)
+    return rebound
+
+
+def _carry_alignment(ctx: PlanContext, base: PlanContext, new_adg: ADG) -> None:
+    """Carry every alignment artifact (copy-on-write) and hand-assemble
+    the plan object against the new program/graph — exactly what
+    :class:`~repro.passes.align_passes.AssemblePass` would build, with
+    the solver outputs supplied instead of recomputed."""
+    from ..align.pipeline import AlignmentPlan
+
+    skel = _carry_skeletons(ctx, base, new_adg)
+    rep = base.get("replication")
+    rep = dataclasses.replace(
+        rep, labels=dict(rep.labels), cut_value=dict(rep.cut_value)
+    )
+    off = base.get("offsets")
+    off = dataclasses.replace(
+        off, offsets=dict(off.offsets), lp_stats=list(off.lp_stats)
+    )
+    alignments = dict(base.get("alignments"))
+    rounds = base.get("replication_rounds")
+    cost = base.get("total_cost")
+
+    def _put_copy(key: str, value) -> None:
+        # A shallow copy has the same *content* as the base artifact, so
+        # when the base ledger entry is content-addressed its
+        # fingerprint transfers verbatim — no re-hash of a solver-sized
+        # map on the replan hot path.
+        art = base.artifact(key)
+        ctx.put(
+            key, value, fingerprint=art.fingerprint if art.content_addressed else None
+        )
+
+    _put_copy("replication", rep)
+    _put_copy("offsets", off)
+    _put_copy("replicated", set(base.get("replicated")))
+    _put_copy("replication_rounds", rounds)
+    _put_copy("alignments", alignments)
+    _put_copy("total_cost", cost)
+    ctx.put(
+        "plan",
+        AlignmentPlan(
+            ctx.get("program"),
+            new_adg,
+            skel,
+            rep,
+            off,
+            alignments,
+            cost,
+            replication_rounds=rounds,
+        ),
+    )
+    if base.has("profile"):
+        ctx.put("profile", _cow_profile(base.get("profile")))
+
+
+def _account(
+    ctx: PlanContext, pipeline: Pipeline, report: DeltaReport
+) -> None:
+    """Fill reused/recomputed counts and per-pass status from the trace.
+
+    A pass can appear twice (the diff stage runs the graph prefix, then
+    the goal run emits a reuse for it); a pass that ran *at all* during
+    this replan counts as recomputed — reuse events merely confirm its
+    outputs stayed valid."""
+    last: dict[str, dict] = {}
+    ran_once: set[str] = set()
+    for ev in ctx.trace:
+        if ev.get("pass") == "delta" or "provides" not in ev:
+            continue
+        last[ev["pass"]] = ev
+        if ev["event"] == "run":
+            ran_once.add(ev["pass"])
+    for name, ev in last.items():
+        ran = name in ran_once
+        report.pass_status[name] = "ran (dirty)" if ran else "reused (clean)"
+        bucket = report.recomputed if ran else report.reused
+        for key in ev["provides"]:
+            bucket[key] = _entries(key, ctx.get(key)) if ctx.has(key) else 1
+
+
+def replan(
+    base: PlanContext,
+    program: Optional[A.Program] = None,
+    machine=None,
+    goal: str | Sequence[str] = ("plan", "distribution"),
+    pipeline: Optional[Pipeline] = None,
+) -> tuple[PlanContext, DeltaReport]:
+    """Incrementally re-plan against a solved base context.
+
+    ``program`` is the edited program (``None``: unchanged) and
+    ``machine`` the new target (``None``: the base's, if any).  Returns
+    a *new* context solved to ``goal`` plus the :class:`DeltaReport`;
+    the base context and its artifacts are never mutated — everything
+    carried over is copied at the container level first.
+
+    The incremental result is exact: artifacts carry over only when the
+    relevant projection fingerprints match, i.e. when a from-scratch
+    solve would have received identical inputs.
+    """
+    t0 = time.perf_counter()
+    pipeline = pipeline if pipeline is not None else Pipeline()
+    base_program = base.get("program")
+    new_program = program if program is not None else base_program
+    program_same = new_program is base_program or (
+        content_fingerprint(base_program) is not None
+        and content_fingerprint(base_program)
+        == content_fingerprint(new_program)
+    )
+    base_machine = base.get("machine") if base.has("machine") else None
+    new_machine = machine if machine is not None else base_machine
+    machine_same = base_machine is not None and (
+        new_machine is base_machine
+        or (
+            _machine_fp(new_machine) is not None
+            and _machine_fp(new_machine) == _machine_fp(base_machine)
+        )
+    )
+
+    with obs.span("passes.delta", kind="delta"):
+        report = DeltaReport(strategy="full", diff=None)
+        if program_same:
+            diff = diff_programs(base_program, new_program)
+            report.diff = diff
+            ctx = base.fork()
+            if machine_same or new_machine is None:
+                report.strategy = "identical"
+            else:
+                report.strategy = "machine_only"
+                # COW the mutable suffix inputs before the fork touches
+                # them: the distribution search memoizes into the
+                # profile, and callers routinely write
+                # ``plan.distribution``; neither may reach the base.
+                if base.has("profile"):
+                    ctx.put("profile", _cow_profile(base.get("profile")))
+                if base.has("plan"):
+                    ctx.put("plan", dataclasses.replace(base.get("plan")))
+                ctx.put("machine", new_machine)
+            adg = base.get("adg") if base.has("adg") else None
+            if adg is not None:
+                report.total_nodes = len(adg.nodes)
+                report.total_ports = sum(len(n.ports) for n in adg.nodes)
+        else:
+            diff = diff_programs(base_program, new_program)
+            report.diff = diff
+            ctx = PlanContext()
+            ctx.put("program", new_program)
+            ctx.put("align_options", base.get("align_options"))
+            if new_machine is not None:
+                ctx.put("machine", new_machine)
+            if base.has("phase_options"):
+                ctx.put("phase_options", base.get("phase_options"))
+            # The graph prefix always re-runs: the diff needs the new
+            # ADG, and typecheck/build are the cheap passes.
+            pipeline.run(ctx, goal="adg")
+            new_adg = ctx.get("adg")
+            dirty_nodes, dirty_ports = dirty_region(new_adg, diff)
+            report.dirty_nodes = len(dirty_nodes)
+            report.dirty_ports = len(dirty_ports)
+            report.total_nodes = len(new_adg.nodes)
+            report.total_ports = sum(len(n.ports) for n in new_adg.nodes)
+            base_adg = base.get("adg") if base.has("adg") else None
+
+            def _match(offsets: bool) -> bool:
+                new_proj = _projection(new_program, new_adg, offsets)
+                return new_proj is not None and new_proj == _base_projection(
+                    base, base_program, base_adg, offsets
+                )
+
+            if base_adg is not None:
+                if all(base.has(k) for k in _ALIGN_ARTIFACTS) and _match(
+                    offsets=True
+                ):
+                    report.strategy = "carry_all"
+                    _carry_alignment(ctx, base, new_adg)
+                elif base.has("skeletons") and _match(offsets=False):
+                    report.strategy = "carry_skeletons"
+                    _carry_skeletons(ctx, base, new_adg)
+                else:
+                    report.strategy = "full"
+
+        diff_seconds = time.perf_counter() - t0
+        ctx.trace.append(
+            {
+                "pass": "delta",
+                "event": "diff",
+                "seconds": diff_seconds,
+                "strategy": report.strategy,
+                "dirty_nodes": report.dirty_nodes,
+                "dirty_ports": report.dirty_ports,
+            }
+        )
+        pipeline.run(ctx, goal=goal)
+
+        if (
+            report.strategy == "machine_only"
+            and base.has("distribution")
+            and ctx.has("distribution")
+            and base.has("profile")
+        ):
+            from ..distrib.remap import remap_cost
+
+            report.remap = remap_cost(
+                base.get("profile").window,
+                base.get("distribution").to_distribution(),
+                ctx.get("distribution").to_distribution(),
+                topology=new_machine.topology_object()
+                if new_machine is not None
+                else None,
+            )
+
+        _account(ctx, pipeline, report)
+        report.seconds = time.perf_counter() - t0
+        reg = registry()
+        reg.counter("passes.delta.dirty_ports").inc(report.dirty_ports)
+        reg.counter("passes.delta.reused").inc(report.reused_entries)
+        cachestats.record_hit("passes.artifact_reuse", report.reused_entries)
+        cachestats.record_miss(
+            "passes.artifact_reuse", report.recomputed_entries
+        )
+        obs.annotate(
+            strategy=report.strategy,
+            dirty_ports=report.dirty_ports,
+            reused=report.reused_entries,
+            recomputed=report.recomputed_entries,
+        )
+    return ctx, report

@@ -53,8 +53,10 @@ from .._io import atomic_write_bytes
 
 #: Bump when the pickled payload layout changes incompatibly; every
 #: persisted entry is stamped with it and mismatches are invalidated at
-#: load time (deleted, reported as misses).
-SCHEMA_VERSION = 1
+#: load time (deleted, reported as misses).  2: prefix contexts carry
+#: statement-provenance-stamped ADGs (``ADGNode.stmt``), which the
+#: delta replan path reads.
+SCHEMA_VERSION = 2
 
 #: Sentinel distinguishing "no entry" from a stored ``None`` payload.
 MISS = object()

@@ -5,7 +5,15 @@ Protocol — one JSON object per line, one response line per request::
     → {"op": "plan", "name": "q1", "source": "real A(8)\\n...", "nprocs": 4,
        "topology": "torus:2x2"}
     ← {"name": "q1", "status": "ok", "cached": "plan", "seconds": 0.0007,
-       "plan": {"total_cost": "12", "distribution": "...", ...}}
+       "plan": {"total_cost": "12", "distribution": "...", ...},
+       "fingerprints": {"program": "...", ...}}
+
+    → {"op": "plan", "name": "q1b", "source": "...edited...",
+       "base_fingerprint": "<fingerprints.program of a prior response>"}
+    ← {"name": "q1b", "status": "ok", "cached": "delta", ...}
+                                                # incremental re-plan off the
+                                                # base program's cached prefix;
+                                                # stale/unknown base → cold plan
 
     → {"op": "stats"}
     ← {"status": "ok", "stats": {...}}          # cache + counters + latency
@@ -187,11 +195,13 @@ class PlanDaemon:
         if not isinstance(source, str) or not source.strip():
             self._event("malformed_request", error="plan request needs 'source'")
             return {"status": "error", "error": "plan request needs 'source'"}
+        base = msg.get("base_fingerprint")
         request = ServeRequest(
             name=str(msg.get("name", "request")),
             source=source,
             nprocs=msg.get("nprocs"),
             topology=msg.get("topology"),
+            base_fingerprint=str(base) if base is not None else None,
         )
         response = await self.service.handle_async(request)
         out = response.to_json()

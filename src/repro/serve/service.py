@@ -10,6 +10,13 @@ produced:
   (key: program, align-options and machine content fingerprints);
 * ``cached="prefix"`` — the machine-independent pipeline prefix came
   from the cache and only the distribution suffix ran;
+* ``cached="delta"`` — the exact probes missed, but the request named a
+  ``base_fingerprint`` whose prefix is cached: the program diff engine
+  (:mod:`repro.passes.delta`) carried the base's unchanged alignment
+  artifacts into an incremental re-plan, and only the invalidated
+  suffix recomputed (counted as ``serve.hits.delta``, timed by
+  ``serve.delta_ms``; a stale base ticks ``serve.delta_stale`` and
+  degrades to cold);
 * ``cached=None`` — a cold miss: the full pipeline ran, sharded to the
   worker-process pool when the service has one (``jobs > 1``, reusing
   the :mod:`repro.batch` cold-path kernel), and both cache namespaces
@@ -54,6 +61,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional
 
+from .. import cachestats
 from ..obs import spans as obs
 from ..obs.live import SLOTracker, default_serve_slos
 from ..obs.metrics import registry
@@ -71,23 +79,34 @@ WINDOWED_COUNTERS = (
     "serve.requests",
     "serve.hits.plan",
     "serve.hits.prefix",
+    "serve.hits.delta",
     "serve.misses",
     "serve.rejected",
     "serve.errors",
 )
 
 #: The serve latency histograms that carry a rolling-window view.
-WINDOWED_HISTOGRAMS = ("serve.warm_ms", "serve.cold_ms", "serve.ms")
+WINDOWED_HISTOGRAMS = ("serve.warm_ms", "serve.cold_ms", "serve.delta_ms", "serve.ms")
 
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One plan query: a named program source and a target machine."""
+    """One plan query: a named program source and a target machine.
+
+    ``base_fingerprint`` opts into the incremental path: the program
+    fingerprint of a previously planned request this one is an edit of.
+    When the exact plan and prefix probes miss but the *base* prefix is
+    still cached, the service diffs the two programs and re-plans
+    incrementally (:func:`repro.passes.delta.replan`) instead of
+    running the pipeline cold.  A stale or unknown base degrades to the
+    cold path (counted under ``serve.delta_stale``) — never an error.
+    """
 
     name: str
     source: str
     nprocs: Optional[int] = None
     topology: Optional[str] = None
+    base_fingerprint: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -96,14 +115,15 @@ class ServeResponse:
 
     name: str
     status: str
-    cached: Optional[str] = None  # "plan" | "prefix" | None (cold)
+    cached: Optional[str] = None  # "plan" | "prefix" | "delta" | None (cold)
     seconds: float = 0.0
     plan: Optional[Mapping[str, Any]] = None
     error: Optional[str] = None
     retry_after: Optional[float] = None
     #: The content-fingerprint chain the cache was probed with
-    #: (program/options/machine, truncated) — access-log material, not
-    #: part of the wire response.
+    #: (program/options/machine, truncated).  Exposed on the wire so an
+    #: editing client can quote ``fingerprints["program"]`` back as the
+    #: next request's ``base_fingerprint``.
     fingerprints: Optional[Mapping[str, str]] = None
 
     @property
@@ -119,6 +139,8 @@ class ServeResponse:
         }
         if self.plan is not None:
             out["plan"] = dict(self.plan)
+        if self.fingerprints is not None:
+            out["fingerprints"] = dict(self.fingerprints)
         if self.error is not None:
             out["error"] = self.error
         if self.retry_after is not None:
@@ -411,18 +433,43 @@ class PlanService:
                     prefix = MISS
                     if cacheable:
                         prefix = self.cache.get("prefix", (pfp, afp))
+                    # Near-miss probe: the exact prefix is absent but the
+                    # request names a base program it was edited from.  A
+                    # cached base prefix turns the cold plan into an
+                    # incremental replan; a stale base is just a cold
+                    # plan plus one counter tick.
+                    base_ctx = MISS
+                    if (
+                        prefix is MISS
+                        and cacheable
+                        and request.base_fingerprint
+                        and request.base_fingerprint != pfp
+                    ):
+                        base_ctx = self.cache.get(
+                            "prefix", (request.base_fingerprint, afp)
+                        )
+                        if base_ctx is MISS:
+                            reg.counter("serve.delta_stale").inc()
                     with obs.span("serve.plan", kind="serve"):
                         if prefix is not MISS:
                             cached = "prefix"
                             payload = _run_suffix(
                                 prefix, machine, request.name, label
                             )
+                        elif base_ctx is not MISS:
+                            cached = "delta"
+                            prefix, payload = self._plan_delta(
+                                base_ctx, ctx, machine, request.name, label
+                            )
                         else:
                             prefix, payload = self._plan_cold(
                                 request, ctx, machine, label
                             )
                     if cacheable:
-                        if cached is None:
+                        if cached is None or cached == "delta":
+                            # The delta path solves a fresh prefix too —
+                            # store it so the *next* edit can chain off
+                            # this program's fingerprint.
                             self.cache.put("prefix", (pfp, afp), prefix)
                         self.cache.put("plan", (pfp, afp, mfp), payload)
 
@@ -431,6 +478,9 @@ class PlanService:
                     if cached == "plan":
                         reg.counter("serve.hits.plan").inc()
                         reg.histogram("serve.warm_ms").observe(seconds * 1e3)
+                    elif cached == "delta":
+                        reg.counter("serve.hits.delta").inc()
+                        reg.histogram("serve.delta_ms").observe(seconds * 1e3)
                     else:
                         if cached == "prefix":
                             reg.counter("serve.hits.prefix").inc()
@@ -457,6 +507,29 @@ class PlanService:
                     seconds=time.perf_counter() - t0,
                     error=f"{type(exc).__name__}: {exc}",
                 )
+
+    def _plan_delta(self, base_ctx, ctx, machine, name: str, label: str):
+        """Incremental plan against a cached base prefix.
+
+        Diffs the edited program against the base context's and
+        re-enters the pipeline with unchanged artifacts carried over
+        (:func:`repro.passes.delta.replan`), then prices the machine
+        suffix through the same :func:`_run_suffix` every other path
+        uses — so the payload is built byte-identically to a cold one.
+        Returns ``(new_prefix_context, payload)``.
+        """
+        from ..passes.delta import replan
+
+        new_ctx, report = replan(
+            base_ctx, program=ctx.get("program"), goal=("plan", "profile")
+        )
+        obs.instant(
+            "serve.delta",
+            strategy=report.strategy,
+            dirty_ports=report.dirty_ports,
+            reused=report.reused_entries,
+        )
+        return new_ctx, _run_suffix(new_ctx, machine, name, label)
 
     def _plan_cold(self, request: ServeRequest, ctx, machine, label: str):
         """Full-pipeline cold path, sharded to the worker pool if any.
@@ -536,6 +609,8 @@ class PlanService:
                 "serve.requests",
                 "serve.hits.plan",
                 "serve.hits.prefix",
+                "serve.hits.delta",
+                "serve.delta_stale",
                 "serve.misses",
                 "serve.rejected",
                 "serve.errors",
@@ -544,6 +619,9 @@ class PlanService:
             )
         }
         windows = reg.snapshot(include_cachestats=False).get("windows", {})
+        reuse_h, reuse_m = cachestats.snapshot().get(
+            "passes.artifact_reuse", (0, 0)
+        )
         return {
             "pending": self.pending,
             "max_pending": self.max_pending,
@@ -552,10 +630,15 @@ class PlanService:
             "cache_entries": len(self.cache),
             "cache": self.cache.stats.as_dict(),
             "counters": counters,
+            # Artifact-level reuse from the delta replans this process
+            # ran (entries carried over vs recomputed), alongside the
+            # request-level cache counters above.
+            "artifact_reuse": {"reused": reuse_h, "recomputed": reuse_m},
             "inflight": reg.gauge("serve.inflight").value or 0,
             "latency": {
                 "warm_ms": reg.histogram("serve.warm_ms").summary(),
                 "cold_ms": reg.histogram("serve.cold_ms").summary(),
+                "delta_ms": reg.histogram("serve.delta_ms").summary(),
             },
             "window": {
                 name: view

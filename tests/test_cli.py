@@ -88,6 +88,35 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([prog_file, "--phases"])
 
+    def test_replan_from(self, prog_file, tmp_path, capsys):
+        edited = tmp_path / "fig1_edit.dp"
+        edited.write_text(FIG1.replace("+ V", "- V"))
+        assert (
+            main([str(edited), "--replan-from", prog_file, "--distribute", "4"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "delta replan: strategy=carry_all" in out
+        assert "reused (clean)" in out
+        assert "distribution plan" in out
+
+    def test_replan_from_rejects_batch_and_phases(self, prog_file, tmp_path):
+        edited = tmp_path / "e.dp"
+        edited.write_text(FIG1)
+        with pytest.raises(SystemExit):
+            main(["--batch", "4", "--replan-from", prog_file])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    str(edited),
+                    "--replan-from",
+                    prog_file,
+                    "--distribute",
+                    "4",
+                    "--phases",
+                ]
+            )
+
     def test_subprocess_invocation(self, prog_file):
         res = subprocess.run(
             [sys.executable, "-m", "repro", prog_file, "--m", "3"],

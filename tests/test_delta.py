@@ -1,0 +1,542 @@
+"""The delta engine: program diffs, dirty regions, artifact carry-over.
+
+Covers :mod:`repro.passes.delta` end to end — stable statement keys and
+the LCS program diff, statement-provenance dirty regions over the ADG,
+the projection-driven carry strategies (``identical``, ``machine_only``,
+``carry_all``, ``carry_skeletons``, ``full``), byte-identity of every
+incremental plan against its from-scratch counterpart, the
+mutation-isolation guarantee (a replan never touches base-context
+artifacts), the machine-only fast path (zero alignment passes re-run, a
+priced remap), and the serve-layer delta path (``base_fingerprint``
+requests, ``serve.hits.delta``/``serve.delta_stale`` counters,
+stale-base fallback, concurrent-client monotonicity).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro import cachestats
+from repro.align.pipeline import plan_context
+from repro.batch.engine import machine_label, replan_context, PlanRequest
+from repro.lang import ast as A
+from repro.lang.parser import parse
+from repro.obs.metrics import registry
+from repro.passes import (
+    DeltaReport,
+    MachineSpec,
+    Pipeline,
+    content_fingerprint,
+    diff_programs,
+    dirty_region,
+    replan,
+    statement_key,
+)
+from repro.serve import PlanDaemon, PlanService, ServeRequest
+from repro.serve.service import _payload
+
+BASE_SRC = """
+real A(64), B(64), C(64)
+A(1:63) = A(1:63) + B(2:64)
+C(1:32) = sqrt(A(1:32))
+"""
+
+#: Single-statement edits of BASE_SRC, one per carry regime.
+EDITS = {
+    # label-only: '+' -> '-' — full alignment solution carries over
+    "op_swap": (
+        "carry_all",
+        """
+real A(64), B(64), C(64)
+A(1:63) = A(1:63) - B(2:64)
+C(1:32) = sqrt(A(1:32))
+""",
+    ),
+    # intrinsic rename: also label-only
+    "intrinsic_swap": (
+        "carry_all",
+        """
+real A(64), B(64), C(64)
+A(1:63) = A(1:63) + B(2:64)
+C(1:32) = cos(A(1:32))
+""",
+    ),
+    # extent-preserving window shift: offsets change, skeletons survive
+    "section_shift": (
+        "carry_skeletons",
+        """
+real A(64), B(64), C(64)
+A(2:64) = A(2:64) + B(2:64)
+C(1:32) = sqrt(A(1:32))
+""",
+    ),
+    # a new statement: structural change, full replan
+    "stmt_add": (
+        "full",
+        """
+real A(64), B(64), C(64)
+A(1:63) = A(1:63) + B(2:64)
+C(1:32) = sqrt(A(1:32))
+C(1:32) = sqrt(A(1:32))
+""",
+    ),
+}
+
+ALIGNMENT_PASSES = (
+    "typecheck",
+    "build-adg",
+    "axis-stride",
+    "replication-offsets",
+    "assemble",
+    "comm-profile",
+)
+
+
+def _plan(program, machine=MachineSpec.of(4), goal=("plan", "distribution")):
+    ctx = plan_context(program)
+    ctx.put("machine", machine)
+    Pipeline().run(ctx, goal=goal)
+    return ctx
+
+
+def _blob(ctx, name="p"):
+    return pickle.dumps(_payload(name, machine_label(4, None), ctx))
+
+
+# -- statement keys and the program diff ---------------------------------------
+
+
+class TestDiff:
+    def test_statement_keys_stable_across_parses(self):
+        a, b = parse(BASE_SRC), parse(BASE_SRC)
+        assert [statement_key(s) for s in a.body] == [
+            statement_key(s) for s in b.body
+        ]
+
+    def test_identical_programs_diff_empty(self):
+        d = diff_programs(parse(BASE_SRC), parse(BASE_SRC))
+        assert d.identical
+        assert not d.changed_base and not d.changed_new
+        assert len(d.matched) == len(parse(BASE_SRC).body)
+
+    def test_single_edit_isolated(self):
+        d = diff_programs(parse(BASE_SRC), parse(EDITS["op_swap"][1]))
+        assert not d.identical
+        assert d.changed_base == (0,)
+        assert d.changed_new == (0,)
+        assert (1, 1) in d.matched
+
+    def test_insertion_matches_lcs(self):
+        d = diff_programs(parse(BASE_SRC), parse(EDITS["stmt_add"][1]))
+        # both original statements survive; only the duplicate is new
+        assert d.changed_base == ()
+        assert len(d.changed_new) == 1
+        assert len(d.matched) == 2
+
+    def test_decl_change_flagged(self):
+        edited = BASE_SRC.replace("C(64)", "C(128)")
+        d = diff_programs(parse(BASE_SRC), parse(edited))
+        assert d.decls_changed
+        assert not d.identical
+
+    def test_summary_readable(self):
+        d = diff_programs(parse(BASE_SRC), parse(EDITS["op_swap"][1]))
+        assert "changed" in d.summary()
+
+
+class TestDirtyRegion:
+    def test_edit_dirties_downstream_only(self):
+        base = parse(BASE_SRC)
+        # edit the *second* statement: the first statement's region and
+        # the B source must stay clean
+        new = parse(EDITS["intrinsic_swap"][1])
+        ctx = plan_context(new)
+        Pipeline().run(ctx, goal="adg")
+        adg = ctx.get("adg")
+        diff = diff_programs(base, new)
+        nodes, ports = dirty_region(adg, diff)
+        assert nodes and ports
+        tags = {adg.nodes[nid].stmt for nid in nodes}
+        assert "s0" not in tags  # statement 0 untouched
+        assert len(nodes) < len(adg.nodes)
+
+    def test_everything_changed_dirties_everything(self):
+        base = parse("real X(8)\nX(1:8) = X(1:8) + X(1:8)\n")
+        new = parse(BASE_SRC)
+        ctx = plan_context(new)
+        Pipeline().run(ctx, goal="adg")
+        adg = ctx.get("adg")
+        nodes, _ = dirty_region(adg, diff_programs(base, new))
+        assert len(nodes) == len(adg.nodes)
+
+
+# -- carry strategies and byte-identity ----------------------------------------
+
+
+class TestStrategies:
+    @pytest.fixture(scope="class")
+    def base_ctx(self):
+        return _plan(parse(BASE_SRC))
+
+    @pytest.mark.parametrize("edit", sorted(EDITS))
+    def test_strategy_and_byte_identity(self, base_ctx, edit):
+        expected, src = EDITS[edit]
+        program = parse(src)
+        new_ctx, rpt = replan(
+            base_ctx, program=program, goal=("plan", "distribution")
+        )
+        assert rpt.strategy == expected, (edit, rpt.strategy)
+        scratch = _plan(program)
+        assert _blob(new_ctx) == _blob(scratch), (
+            f"{edit}: incremental plan differs from from-scratch"
+        )
+
+    def test_identical_program_is_identical_strategy(self, base_ctx):
+        new_ctx, rpt = replan(
+            base_ctx, program=parse(BASE_SRC), goal=("plan", "distribution")
+        )
+        assert rpt.strategy == "identical"
+        assert rpt.diff is not None and rpt.diff.identical
+        assert _blob(new_ctx) == _blob(base_ctx)
+
+    def test_carry_all_reuses_alignment_passes(self, base_ctx):
+        new_ctx, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["op_swap"][1]),
+            goal=("plan", "distribution"),
+        )
+        for name in ("axis-stride", "replication-offsets", "assemble"):
+            assert rpt.pass_status[name] == "reused (clean)", (
+                name,
+                rpt.pass_status,
+            )
+        assert rpt.pass_status["build-adg"] == "ran (dirty)"
+        assert rpt.reused_entries > 0
+
+    def test_carry_skeletons_reruns_offsets_only(self, base_ctx):
+        new_ctx, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["section_shift"][1]),
+            goal=("plan", "distribution"),
+        )
+        assert rpt.pass_status["axis-stride"] == "reused (clean)"
+        assert rpt.pass_status["replication-offsets"] == "ran (dirty)"
+
+    def test_report_renders(self, base_ctx):
+        _, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["op_swap"][1]),
+            goal=("plan", "distribution"),
+        )
+        text = rpt.render()
+        assert "strategy=carry_all" in text
+        assert "reused" in text and "recomputed" in text
+
+    def test_counters_move(self, base_ctx):
+        reg = registry()
+        before_reused = reg.counter("passes.delta.reused").value
+        snap = cachestats.snapshot().get("passes.artifact_reuse", (0, 0))
+        _, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["op_swap"][1]),
+            goal=("plan", "distribution"),
+        )
+        assert reg.counter("passes.delta.reused").value > before_reused
+        after = cachestats.snapshot()["passes.artifact_reuse"]
+        assert after[0] >= snap[0] + rpt.reused_entries
+
+    def test_explain_gains_delta_column(self, base_ctx):
+        _, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["op_swap"][1]),
+            goal=("plan", "distribution"),
+        )
+        text = Pipeline().explain(goal=("plan", "distribution"), delta=rpt)
+        assert "reused (clean)" in text
+        assert "ran (dirty)" in text
+        plain = Pipeline().explain(goal=("plan", "distribution"))
+        assert "reused (clean)" not in plain
+
+
+class TestMachineDelta:
+    def test_distribute_suffix_only(self):
+        base_ctx = _plan(parse(BASE_SRC))
+        new_ctx, rpt = replan(base_ctx, machine=MachineSpec.of(8))
+        assert rpt.strategy == "machine_only"
+        reran = [
+            ev["pass"]
+            for ev in new_ctx.trace
+            if ev.get("event") == "run" and ev.get("pass") in ALIGNMENT_PASSES
+        ]
+        assert reran == [], f"alignment passes re-ran: {reran}"
+        assert new_ctx.get("machine").nprocs == 8
+        assert base_ctx.get("machine").nprocs == 4
+
+    def test_remap_is_priced(self):
+        base_ctx = _plan(parse(BASE_SRC))
+        _, rpt = replan(base_ctx, machine=MachineSpec.of(8))
+        assert rpt.remap is not None
+        assert rpt.remap.hops >= 0 and rpt.remap.moved >= 0
+
+    def test_matches_scratch_plan(self):
+        base_ctx = _plan(parse(BASE_SRC))
+        new_ctx, _ = replan(base_ctx, machine=MachineSpec.of(8))
+        scratch = _plan(parse(BASE_SRC), machine=MachineSpec.of(8))
+        a = _payload("p", machine_label(8, None), new_ctx)
+        b = _payload("p", machine_label(8, None), scratch)
+        assert pickle.dumps(a) == pickle.dumps(b)
+
+
+# -- satellite: mutation isolation ---------------------------------------------
+
+
+def _artifact_snapshot(ctx):
+    """(fingerprint, stable content repr) of every base artifact that a
+    replan could conceivably reach through a shared reference."""
+    snap = {}
+    for key in ctx.keys():
+        art = ctx.artifact(key)
+        value = art.value
+        content = content_fingerprint(value)
+        if content is None and isinstance(value, dict):
+            content = repr(sorted((k, repr(v)) for k, v in value.items()))
+        snap[key] = (art.fingerprint, content)
+    return snap
+
+
+class TestMutationIsolation:
+    """A replan must never write through to the base context: forked
+    artifact stores, COW profiles, copied solver maps."""
+
+    @pytest.mark.parametrize("edit", sorted(EDITS))
+    def test_program_delta_leaves_base_untouched(self, edit):
+        base_ctx = _plan(parse(BASE_SRC))
+        before = _artifact_snapshot(base_ctx)
+        before_trace = len(base_ctx.trace)
+        replan(
+            base_ctx,
+            program=parse(EDITS[edit][1]),
+            goal=("plan", "distribution"),
+        )
+        assert _artifact_snapshot(base_ctx) == before
+        assert len(base_ctx.trace) == before_trace
+
+    def test_machine_delta_leaves_base_untouched(self):
+        base_ctx = _plan(parse(BASE_SRC))
+        before = _artifact_snapshot(base_ctx)
+        profile = base_ctx.get("profile")
+        hops_before = dict(profile._hops_cache)
+        new_ctx, _ = replan(base_ctx, machine=MachineSpec.of(8))
+        # the distribution search memoizes into the profile: only the
+        # replan's COW clone may have gained entries
+        assert dict(base_ctx.get("profile")._hops_cache) == hops_before
+        assert new_ctx.get("profile") is not base_ctx.get("profile")
+        assert _artifact_snapshot(base_ctx) == before
+
+    def test_carried_maps_are_copies(self):
+        base_ctx = _plan(parse(BASE_SRC))
+        new_ctx, rpt = replan(
+            base_ctx,
+            program=parse(EDITS["op_swap"][1]),
+            goal=("plan", "distribution"),
+        )
+        assert rpt.strategy == "carry_all"
+        for key in ("alignments", "replicated"):
+            assert new_ctx.get(key) is not base_ctx.get(key)
+            assert new_ctx.get(key) == base_ctx.get(key)
+        assert (
+            new_ctx.get("offsets").offsets is not base_ctx.get("offsets").offsets
+        )
+        assert (
+            new_ctx.get("skeletons").skeletons
+            is not base_ctx.get("skeletons").skeletons
+        )
+
+
+# -- the batch entry point -----------------------------------------------------
+
+
+class TestReplanContext:
+    def test_replan_context_round_trip(self):
+        base_ctx = _plan(parse(BASE_SRC), goal=("plan", "profile"))
+        req = PlanRequest(name="edited", source=EDITS["op_swap"][1])
+        ctx, rpt = replan_context(base_ctx, req)
+        assert isinstance(rpt, DeltaReport)
+        assert rpt.strategy == "carry_all"
+        assert ctx.has("plan") and ctx.has("profile")
+
+    def test_align_kw_mismatch_rejected(self):
+        base_ctx = _plan(parse(BASE_SRC), goal=("plan", "profile"))
+        req = PlanRequest(name="edited", source=EDITS["op_swap"][1])
+        with pytest.raises(ValueError, match="align"):
+            replan_context(base_ctx, req, align_kw={"offset_mode": "static"})
+
+    def test_batch_report_exposes_artifact_reuse(self):
+        """A replanning batch task's cachestats delta carries the
+        passes.artifact_reuse entry, and the report renders it
+        alongside the kernel cache counters."""
+        from repro.batch.engine import BatchReport, PlanResult
+
+        base_ctx = _plan(parse(BASE_SRC), goal=("plan", "profile"))
+        before = cachestats.snapshot()
+        replan_context(
+            base_ctx, PlanRequest(name="e", source=EDITS["op_swap"][1])
+        )
+        inc = cachestats.delta(before)
+        assert "passes.artifact_reuse" in inc
+        report = BatchReport(
+            results=[PlanResult(name="e", ok=True, seconds=0.01, cache=inc)],
+            seconds=0.01,
+            jobs=1,
+            mode="serial",
+        )
+        assert "passes.artifact_reuse" in report.render()
+
+
+# -- the serve layer -----------------------------------------------------------
+
+
+EDIT_SRC = EDITS["op_swap"][1]
+
+
+class TestServeDelta:
+    def test_delta_hit_and_byte_identity(self):
+        reg = registry()
+        with PlanService() as svc:
+            first = svc.handle(ServeRequest("q", BASE_SRC, nprocs=4))
+            assert first.ok and first.cached is None
+            base_fp = first.fingerprints["program"]
+            before = reg.counter("serve.hits.delta").value
+            delta = svc.handle(
+                ServeRequest(
+                    "q2", EDIT_SRC, nprocs=4, base_fingerprint=base_fp
+                )
+            )
+            assert delta.ok and delta.cached == "delta"
+            assert reg.counter("serve.hits.delta").value == before + 1
+        with PlanService() as svc:
+            cold = svc.handle(ServeRequest("q2", EDIT_SRC, nprocs=4))
+        assert pickle.dumps(delta.plan) == pickle.dumps(cold.plan)
+
+    def test_delta_chains_across_edits(self):
+        # each response's program fingerprint is a valid base for the
+        # next edit: the delta path re-stores the new prefix
+        with PlanService() as svc:
+            r0 = svc.handle(ServeRequest("q", BASE_SRC, nprocs=4))
+            r1 = svc.handle(
+                ServeRequest(
+                    "q",
+                    EDIT_SRC,
+                    nprocs=4,
+                    base_fingerprint=r0.fingerprints["program"],
+                )
+            )
+            assert r1.cached == "delta"
+            r2 = svc.handle(
+                ServeRequest(
+                    "q",
+                    EDITS["section_shift"][1],
+                    nprocs=4,
+                    base_fingerprint=r1.fingerprints["program"],
+                )
+            )
+            assert r2.cached == "delta"
+
+    def test_stale_base_falls_back_cold(self):
+        reg = registry()
+        with PlanService() as svc:
+            before = reg.counter("serve.delta_stale").value
+            resp = svc.handle(
+                ServeRequest(
+                    "q", BASE_SRC, nprocs=4, base_fingerprint="0" * 12
+                )
+            )
+            assert resp.ok and resp.cached is None
+            assert reg.counter("serve.delta_stale").value == before + 1
+
+    def test_exact_hit_wins_over_delta(self):
+        # if the edited program itself is already cached, the plan hit
+        # answers and base_fingerprint is ignored
+        with PlanService() as svc:
+            svc.handle(ServeRequest("q", BASE_SRC, nprocs=4))
+            resp = svc.handle(
+                ServeRequest(
+                    "q", BASE_SRC, nprocs=4, base_fingerprint="0" * 12
+                )
+            )
+            assert resp.cached == "plan"
+
+    def test_concurrent_delta_clients_monotone_counter(self):
+        reg = registry()
+        with PlanService() as svc:
+            first = svc.handle(ServeRequest("q", BASE_SRC, nprocs=4))
+            base_fp = first.fingerprints["program"]
+            before = reg.counter("serve.hits.delta").value
+            results = []
+
+            def worker():
+                results.append(
+                    svc.handle(
+                        ServeRequest(
+                            "q",
+                            EDIT_SRC,
+                            nprocs=4,
+                            base_fingerprint=base_fp,
+                        )
+                    )
+                )
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(r.ok for r in results)
+            hits = reg.counter("serve.hits.delta").value - before
+            deltas = sum(1 for r in results if r.cached == "delta")
+            assert deltas == hits
+            assert deltas >= 1
+            blobs = {pickle.dumps(r.plan) for r in results}
+            assert len(blobs) == 1  # every client saw the same plan
+
+    def test_daemon_delta_op(self):
+        async def drive():
+            daemon = PlanDaemon(PlanService(), port=0)
+            await daemon.start()
+            server = asyncio.create_task(daemon.serve_forever())
+            reader, writer = await asyncio.open_connection(*daemon.address)
+
+            async def ask(msg):
+                writer.write(json.dumps(msg).encode() + b"\n")
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            cold = await ask(
+                {"op": "plan", "name": "q", "source": BASE_SRC, "nprocs": 4}
+            )
+            delta = await ask(
+                {
+                    "op": "plan",
+                    "name": "q2",
+                    "source": EDIT_SRC,
+                    "nprocs": 4,
+                    "base_fingerprint": cold["fingerprints"]["program"],
+                }
+            )
+            stats = await ask({"op": "stats"})
+            writer.close()
+            daemon.shutdown()
+            await server
+            return cold, delta, stats
+
+        cold, delta, stats = asyncio.run(drive())
+        assert cold["status"] == "ok" and "fingerprints" in cold
+        assert delta["status"] == "ok" and delta["cached"] == "delta"
+        assert stats["stats"]["counters"]["serve.hits.delta"] >= 1
+        assert "artifact_reuse" in stats["stats"]

@@ -229,6 +229,96 @@ def test_vectorized_planning_agrees_on_every_topology(spec, planned):
         assert fast == slow, (scenario.name, spec)
 
 
+def _single_edit(program):
+    """One deterministic single-statement edit: flip the first additive
+    operator; programs without one get their first statement duplicated."""
+    import dataclasses
+
+    from repro.lang import ast as A
+
+    def flip(e):
+        if isinstance(e, A.BinOp):
+            if e.op in "+-":
+                return dataclasses.replace(
+                    e, op="-" if e.op == "+" else "+"
+                )
+            left = flip(e.left)
+            if left is not None:
+                return dataclasses.replace(e, left=left)
+            right = flip(e.right)
+            if right is not None:
+                return dataclasses.replace(e, right=right)
+        elif isinstance(
+            e, (A.UnaryOp, A.Intrinsic, A.Transpose, A.Spread, A.Reduce)
+        ):
+            operand = flip(e.operand)
+            if operand is not None:
+                return dataclasses.replace(e, operand=operand)
+        return None
+
+    def edit_stmt(s):
+        if isinstance(s, A.Assign):
+            rhs = flip(s.rhs)
+            if rhs is not None:
+                return dataclasses.replace(s, rhs=rhs)
+        elif isinstance(s, A.Do):
+            for j, b in enumerate(s.body):
+                r = edit_stmt(b)
+                if r is not None:
+                    return dataclasses.replace(
+                        s, body=s.body[:j] + (r,) + s.body[j + 1 :]
+                    )
+        return None
+
+    for i, s in enumerate(program.body):
+        r = edit_stmt(s)
+        if r is not None:
+            return dataclasses.replace(
+                program, body=program.body[:i] + (r,) + program.body[i + 1 :]
+            )
+    return dataclasses.replace(
+        program, body=program.body + (program.body[-1],)
+    )
+
+
+@pytest.mark.parametrize("scenario", CORPUS[:10], ids=_ids(CORPUS[:10]))
+def test_incremental_replan_matches_scratch(scenario):
+    """Edit pairs: a single-statement edit replanned incrementally via
+    the delta engine yields the byte-identical payload of a from-scratch
+    plan, and the incremental plan still satisfies the equation-1
+    simulator oracle."""
+    import pickle
+
+    from repro.align.pipeline import plan_context
+    from repro.batch.engine import machine_label
+    from repro.passes import MachineSpec, Pipeline, replan
+    from repro.serve.service import _payload
+
+    def scratch_plan(p):
+        ctx = plan_context(p)
+        ctx.put("machine", MachineSpec.of(NPROCS))
+        Pipeline().run(ctx, goal=("plan", "distribution"))
+        return ctx
+
+    program = scenario.parse()
+    base = scratch_plan(program)
+    edited = _single_edit(program)
+    new_ctx, _ = replan(base, program=edited, goal=("plan", "distribution"))
+    scratch = scratch_plan(edited)
+    label = machine_label(NPROCS, None)
+    assert pickle.dumps(_payload(scenario.name, label, new_ctx)) == (
+        pickle.dumps(_payload(scenario.name, label, scratch))
+    ), scenario.name
+    plan = new_ctx.get("plan")
+    rep = measure_traffic(
+        plan.adg, plan.alignments, Distribution.identity(plan.adg.template_rank)
+    )
+    assert (
+        plan.total_cost
+        == rep.hop_cost + rep.broadcast_elements + rep.general_elements
+    ), scenario.name
+
+
 def test_batch_engine_verify_flag_agrees():
     """plan_many's built-in verifier reproduces the harness verdicts."""
     from repro.batch import plan_many

@@ -354,7 +354,8 @@ class TestPlanService:
             assert stats["cache_dir"] is None
             assert stats["cache"]["stores"] == 2  # prefix + plan
             assert "serve.requests" in stats["counters"]
-            assert set(stats["latency"]) == {"warm_ms", "cold_ms"}
+            assert set(stats["latency"]) == {"warm_ms", "cold_ms", "delta_ms"}
+            assert set(stats["artifact_reuse"]) == {"reused", "recomputed"}
 
     def test_pooled_cold_path_matches_inline(self, tmp_path):
         inline_dir = str(tmp_path / "inline")

@@ -163,11 +163,15 @@ class TestServiceTelemetry:
         assert trace["serve.request"]["count"] == 1
         assert trace["serve.request"]["ms"] > 0
 
-    def test_fingerprints_not_on_the_wire(self):
+    def test_fingerprints_on_the_wire_when_present(self):
+        # The delta protocol needs them: a client quotes
+        # fingerprints["program"] as the next request's base_fingerprint.
         resp = ServeResponse(
             name="q", status="ok", fingerprints={"program": "abc"}
         )
-        assert "fingerprints" not in resp.to_json()
+        assert resp.to_json()["fingerprints"] == {"program": "abc"}
+        bare = ServeResponse(name="q", status="error")
+        assert "fingerprints" not in bare.to_json()
 
     def test_windowed_stats_decay_on_fake_clock(self, tmp_path):
         clock = FakeClock()
